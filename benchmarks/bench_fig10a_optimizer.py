@@ -1,0 +1,31 @@
+"""Figure 10(a): effectiveness of the query optimizer.
+
+Paper: the optimizer's plan is very close to the true best plan; the worst
+plan costs about twice the optimized one on average, with the gap growing as
+the pattern count grows; optimization itself takes 3.5-10ms.
+"""
+
+from repro.bench.experiments import experiment_fig10a
+from repro.bench.harness import format_table, report
+
+
+def test_fig10a_optimizer_effectiveness(figure):
+    rows, n = figure(experiment_fig10a)
+    table = format_table(
+        f"Figure 10(a) — Plan quality (N={n}, ms; paper: optimized ~ best, "
+        "worst ~ 2x)",
+        ["Patterns", "Best", "RDF-TX plan", "Worst", "Optimize (ms)"],
+        rows,
+    )
+    report("fig10a_optimizer", table)
+    total_best = sum(r[1] for r in rows)
+    total_chosen = sum(r[2] for r in rows)
+    total_worst = sum(r[3] for r in rows)
+    # The optimizer's plan is close to the best plan overall...
+    assert total_chosen <= total_best * 1.6
+    # ...and clearly better than the worst plan.
+    assert total_worst > total_chosen * 1.4
+    # The best/worst gap widens with pattern count (compare 3 vs 7).
+    gap_small = rows[0][3] / max(rows[0][1], 1e-9)
+    gap_large = rows[-1][3] / max(rows[-1][1], 1e-9)
+    assert gap_large > gap_small

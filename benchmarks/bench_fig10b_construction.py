@@ -1,0 +1,21 @@
+"""Figure 10(b): index construction time vs dataset size.
+
+Paper: approximately linear in the number of triples (with a mild
+superlinear tail they attribute to JVM garbage collection).
+"""
+
+from repro.bench.experiments import experiment_fig10b
+from repro.bench.harness import format_table, report
+
+
+def test_fig10b_construction_time(figure):
+    rows = figure(experiment_fig10b)
+    table = format_table(
+        "Figure 10(b) — Index Construction Time (4 MVBTs + compression)",
+        ["Triples", "Seconds"],
+        rows,
+    )
+    report("fig10b_construction", table)
+    # Approximately linear: per-triple cost within a factor ~3 end to end.
+    per_triple = [seconds / n for n, seconds in rows]
+    assert max(per_triple) < 3.5 * min(per_triple)

@@ -1,0 +1,25 @@
+"""Figure 3(b): time to delta-compress MVBT leaf entries vs dataset size.
+
+Paper: compression is cheap and roughly linear — 1.36s at 5M triples up to
+7.25s at 30M.  The shape to reproduce: near-linear growth, small absolute
+cost relative to index construction (Figure 10(b)).
+"""
+
+from repro.bench.experiments import experiment_fig3b
+from repro.bench.harness import format_table, report
+
+
+def test_fig3b_compression_time(figure):
+    rows = figure(experiment_fig3b)
+    table = format_table(
+        "Figure 3(b) — Compression Time (paper: 1.36s@5M ... 7.25s@30M)",
+        ["Triples", "Seconds"],
+        rows,
+    )
+    report("fig3b_compression_time", table)
+    # Near-linear: time per triple stays within a factor of ~4 end to end.
+    per_triple = [seconds / n for n, seconds in rows]
+    assert max(per_triple) < 4.5 * min(per_triple)
+    # Compression is much cheaper than construction (paper: seconds versus
+    # hundreds of seconds at 30M).
+    assert rows[-1][1] < 60

@@ -1,0 +1,32 @@
+"""Section 7.4: temporal histogram footprint and optimization time.
+
+Paper: the temporal histogram (four CMVSBTs + characteristic-set schema)
+takes about 8.5% of the raw data size after threshold coarsening, and query
+optimization takes 3.5-10 milliseconds per complex query.
+"""
+
+from repro.bench.experiments import experiment_sec74
+from repro.bench.harness import format_table, report
+
+
+def test_sec74_histogram_size_and_optimize_time(figure):
+    result = figure(experiment_sec74)
+    table = format_table(
+        "Section 7.4 — Temporal Histogram (paper: ~8.5% of raw; "
+        "optimize 3.5-10ms)",
+        ["Metric", "Value"],
+        [
+            ("Triples", result["n"]),
+            ("Raw bytes", result["raw_bytes"]),
+            ("Histogram bytes", result["histogram_bytes"]),
+            ("Fraction of raw", round(result["fraction"], 4)),
+            ("cm after coarsening", result["cm"]),
+            ("Optimize min (ms)", result["optimize_ms_min"]),
+            ("Optimize max (ms)", result["optimize_ms_max"]),
+        ],
+    )
+    report("sec74_histogram", table)
+    # The histogram respects the 10% budget (paper lands at 8.5%).
+    assert result["fraction"] <= 0.12
+    # Optimization stays in the milliseconds band.
+    assert result["optimize_ms_max"] < 100

@@ -1,0 +1,21 @@
+"""Shared benchmark configuration.
+
+Run with ``pytest benchmarks/ --benchmark-only``; set ``REPRO_SCALE`` to
+grow or shrink every dataset (1.0 reproduces the default shapes in minutes).
+Each benchmark prints its paper-figure table and writes it to
+``bench_results/``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def figure(benchmark):
+    """Run an experiment once under pytest-benchmark and return its value."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return run

@@ -1,0 +1,60 @@
+"""Knowledge auditing and recovery (Section 2.1's remaining scenarios).
+
+Shows the transaction-time history doing provenance work:
+
+* **Auditing** — find facts that were corrected quickly after being entered
+  (short-lived versions are edit-war / vandalism candidates).
+* **Verification** — compare a fact's stated value across time against a
+  trusted snapshot date.
+* **Recovery** — a value deleted by mistake is recovered from the history
+  and re-asserted as live.
+
+Run:  python examples/knowledge_audit.py
+"""
+
+from repro import RDFTX, TemporalGraph, date_to_chronon
+
+D = date_to_chronon
+
+
+def main() -> None:
+    graph = TemporalGraph()
+    # A curated history with one vandalism episode and one mistaken delete.
+    graph.add("Rome", "population", "2873000", D("2012-01-05"), D("2014-03-01"))
+    graph.add("Rome", "population", "9999999", D("2014-03-01"), D("2014-03-03"))
+    graph.add("Rome", "population", "2874038", D("2014-03-03"))
+    graph.add("Rome", "mayor", "Gianni_Alemanno", D("2008-04-29"), D("2013-06-12"))
+    graph.add("Rome", "mayor", "Ignazio_Marino", D("2013-06-12"), D("2015-11-01"))
+    # The country fact was deleted by mistake on 2015-05-01.
+    graph.add("Rome", "country", "Italy", D("2001-01-01"), D("2015-05-01"))
+
+    engine = RDFTX.from_graph(graph)
+
+    # --- Auditing: versions that lived less than a week are suspicious.
+    print("Short-lived values (possible vandalism):")
+    result = engine.query(
+        "SELECT ?p ?v ?t {Rome ?p ?v ?t . FILTER(LENGTH(?t) < 7 DAY)}"
+    )
+    print(result.to_table())
+
+    # --- Verification: what did we claim on a trusted audit date?
+    print("\nState of knowledge on 2014-03-02 (during the vandalism):")
+    print(engine.query("SELECT ?p ?v {Rome ?p ?v 2014-03-02}").to_table())
+
+    # --- Recovery: the country fact is gone today...
+    today = engine.horizon
+    history = engine.query("SELECT ?c ?t {Rome country ?c ?t}")
+    deleted = [r for r in history if not r["t"].periods[-1].is_live]
+    print("\nDeleted facts found in the history:")
+    for row in deleted:
+        print(f"  Rome country {row['c']}  (was valid {row['t']})")
+        # ...recover it: re-assert as live from today.
+        engine.insert("Rome", "country", row["c"], today)
+
+    recovered = engine.query("SELECT ?c ?t {Rome country ?c ?t}")
+    print("\nAfter recovery:")
+    print(recovered.to_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""UNION and OPTIONAL — the paper's future work, in action.
+
+Section 3.1 of the paper plans `(P UNION P')` and `(P OPT P')` for the
+future; this library implements them.  The example asks questions that need
+them: "who led each university, whether titled president OR chancellor?"
+and "show every university with its motto IF it has one".
+
+Run:  python examples/union_optional.py
+"""
+
+from repro import RDFTX, TemporalGraph, date_to_chronon
+
+D = date_to_chronon
+
+
+def main() -> None:
+    g = TemporalGraph()
+    g.add("UC", "president", "Mark_Yudof", D("2008-06-16"), D("2013-09-30"))
+    g.add("UC", "president", "Janet_Napolitano", D("2013-09-30"))
+    g.add("Berkeley", "chancellor", "Robert_Birgeneau",
+          D("2004-09-22"), D("2013-06-01"))
+    g.add("Berkeley", "chancellor", "Nicholas_Dirks", D("2013-06-01"))
+    g.add("Berkeley", "motto", "Fiat_Lux", 0)  # since the epoch
+    g.add("UM", "president", "Mary_Sue_Coleman", D("2002-08-01"))
+    engine = RDFTX.from_graph(g)
+
+    print("Leaders of any title (UNION):")
+    result = engine.query(
+        "SELECT ?org ?leader ?t "
+        "{ {?org president ?leader ?t} UNION {?org chancellor ?leader ?t} }"
+    )
+    print(result.to_table())
+
+    print("\nOrganizations with their motto, if any (OPTIONAL):")
+    result = engine.query(
+        "SELECT ?org ?leader ?motto "
+        "{ {?org president ?leader ?t} UNION {?org chancellor ?leader ?t} . "
+        "OPTIONAL {?org motto ?motto ?t2}}"
+    )
+    print(result.to_table())
+
+    print("\nCombined: leaders in office during 2013, motto optional:")
+    result = engine.query(
+        "SELECT ?org ?leader ?motto "
+        "{ {?org president ?leader ?t} UNION {?org chancellor ?leader ?t} . "
+        "OPTIONAL {?org motto ?motto ?t2} . FILTER(YEAR(?t) = 2013)}"
+    )
+    print(result.to_table())
+
+
+if __name__ == "__main__":
+    main()

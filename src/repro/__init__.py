@@ -1,0 +1,56 @@
+"""repro — a reproduction of RDF-TX (EDBT 2016).
+
+RDF-TX is a fast, user-friendly system for querying the history of RDF
+knowledge bases: SPARQLT (a point-based temporal extension of SPARQL), an
+in-memory query engine over compressed Multiversion B+ Trees, and a query
+optimizer driven by temporal characteristic-set statistics.
+
+Quickstart::
+
+    from repro import RDFTX, TemporalGraph, date_to_chronon
+
+    graph = TemporalGraph()
+    graph.add("UC", "president", "Mark_Yudof",
+              date_to_chronon("2008-06-16"), date_to_chronon("2013-09-30"))
+    graph.add("UC", "president", "Janet_Napolitano",
+              date_to_chronon("2013-09-30"))
+
+    engine = RDFTX.from_graph(graph)
+    result = engine.query("SELECT ?t {UC president Janet_Napolitano ?t}")
+    print(result.to_table())
+"""
+
+from .engine import QueryResult, RDFTX
+from .model import (
+    NOW,
+    Period,
+    PeriodSet,
+    TemporalGraph,
+    TemporalTriple,
+    Triple,
+    date_to_chronon,
+    format_chronon,
+)
+from .mvbt import MVBT, MVBTConfig
+from .optimizer import Optimizer
+from .sparqlt import SparqltError, parse
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MVBT",
+    "MVBTConfig",
+    "NOW",
+    "Optimizer",
+    "Period",
+    "PeriodSet",
+    "QueryResult",
+    "RDFTX",
+    "SparqltError",
+    "TemporalGraph",
+    "TemporalTriple",
+    "Triple",
+    "date_to_chronon",
+    "format_chronon",
+    "parse",
+]

@@ -1,0 +1,27 @@
+"""Comparison systems reimplementing the strategies the paper measured."""
+
+from .base import TemporalBaseline
+from .namedgraph import NamedGraphBaseline, Ng4jBaseline
+from .rdbms import RDBMSBaseline
+from .reification import ReificationBaseline
+from .rdf3x import RDF3XBaseline, VirtuosoBaseline
+
+#: All baselines in the order Figure 9's legends list them.
+ALL_BASELINES = (
+    RDF3XBaseline,
+    NamedGraphBaseline,
+    ReificationBaseline,
+    VirtuosoBaseline,
+    RDBMSBaseline,
+)
+
+__all__ = [
+    "ALL_BASELINES",
+    "NamedGraphBaseline",
+    "Ng4jBaseline",
+    "RDBMSBaseline",
+    "RDF3XBaseline",
+    "ReificationBaseline",
+    "TemporalBaseline",
+    "VirtuosoBaseline",
+]

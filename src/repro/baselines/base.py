@@ -1,0 +1,178 @@
+"""Shared machinery for the comparison systems (paper Section 7.1.2).
+
+Each baseline is an honest reimplementation of the *strategy* the paper
+measured — not of the named product.  They all answer the same SPARQLT
+queries over the same :class:`~repro.model.graph.TemporalGraph`, differing
+exactly where the paper's analysis locates the performance differences:
+
+* how temporal RDF triples are stored and indexed,
+* whether a pattern + temporal constraint needs one index operation (RDF-TX)
+  or an index scan followed by residual filtering and extra joins,
+* how much storage the scheme needs (Figure 8(b)).
+
+The front half of query evaluation (parsing, filter semantics, hash joins,
+projection) is shared so measured differences come from the storage layer,
+mirroring how all systems in the paper run equivalent rewritten queries.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator
+
+from ..engine.engine import QueryResult
+from ..engine.operators import (
+    Row,
+    apply_filters,
+    hash_join_rows,
+    nested_loop_product,
+    project,
+)
+from ..engine.patterns import _window_from_filters
+from ..model.graph import TemporalGraph
+from ..model.time import Period
+from ..sparqlt.ast import Query, QuadPattern, TimeConst, Var
+from ..sparqlt.parser import parse
+
+
+class TemporalBaseline(ABC):
+    """A comparison system evaluating SPARQLT queries over its own storage."""
+
+    #: Display name used by benchmark tables.
+    name = "baseline"
+
+    def __init__(self) -> None:
+        self.dictionary = None
+        self._horizon = 1
+
+    @classmethod
+    def from_graph(cls, graph: TemporalGraph, **kwargs) -> "TemporalBaseline":
+        system = cls(**kwargs)
+        system.load(graph)
+        return system
+
+    def load(self, graph: TemporalGraph) -> None:
+        self.dictionary = graph.dictionary
+        horizon = 1
+        for triple in graph:
+            horizon = max(horizon, triple.period.start + 1)
+            if not triple.period.is_live:
+                horizon = max(horizon, triple.period.end + 1)
+        self._horizon = horizon
+        self._build(graph)
+
+    @abstractmethod
+    def _build(self, graph: TemporalGraph) -> None:
+        """Build the system's storage from the graph."""
+
+    @abstractmethod
+    def match_pattern(
+        self, pattern: QuadPattern, window: Period
+    ) -> Iterator[Row]:
+        """Single-pattern matching against this system's storage.
+
+        Yields rows binding the pattern's variables (term ids as ints, the
+        temporal variable as a PeriodSet restricted to ``window``).
+        """
+
+    @abstractmethod
+    def sizeof(self) -> int:
+        """Storage-layout size in bytes (Figure 8(b))."""
+
+    # ------------------------------------------------------------ evaluation
+
+    def query(self, text: str | Query) -> QueryResult:
+        """Parse and evaluate a SPARQLT query."""
+        query = parse(text) if isinstance(text, str) else text
+        conjuncts = query.filter_conjuncts()
+        rows: list[Row] | None = None
+        bound: set[str] = set()
+        # Join order: constants-first heuristic, like the paper's baselines
+        # running through their own (non-temporal) optimizers.
+        patterns = sorted(
+            query.patterns,
+            key=lambda p: -len(p.constant_positions()),
+        )
+        for pattern in patterns:
+            window = self._pattern_window(pattern, conjuncts)
+            scanned = list(self.match_pattern(pattern, window))
+            if rows is None:
+                rows = scanned
+            else:
+                shared = bound & pattern.variables()
+                if shared:
+                    rows = list(hash_join_rows(rows, scanned, shared))
+                else:
+                    rows = list(nested_loop_product(rows, scanned))
+            bound |= pattern.variables()
+            if not rows:
+                break
+        rows = rows or []
+        rows = list(
+            apply_filters(rows, conjuncts, self.dictionary, self._horizon)
+        )
+        return QueryResult(
+            variables=list(query.select),
+            rows=project(rows, query.select, self.dictionary),
+        )
+
+    def _pattern_window(self, pattern: QuadPattern, conjuncts) -> Period:
+        if isinstance(pattern.time, TimeConst):
+            return Period.point(pattern.time.chronon)
+        return _window_from_filters(pattern.time.name, conjuncts)
+
+    # --------------------------------------------------------------- helpers
+
+    @staticmethod
+    def bind(pattern: QuadPattern, sid: int, pid: int, oid: int) -> Row | None:
+        """Bind a concrete (s, p, o) to the pattern's variables, checking
+        repeated variables; ``None`` when inconsistent."""
+        row: Row = {}
+        for term, value in (
+            (pattern.subject, sid),
+            (pattern.predicate, pid),
+            (pattern.object, oid),
+        ):
+            if isinstance(term, Var):
+                if term.name in row and row[term.name] != value:
+                    return None
+                row[term.name] = value
+        return row
+
+    def rows_from_records(
+        self,
+        pattern: QuadPattern,
+        records: Iterable[tuple[int, int, int, Period]],
+        window: Period,
+    ) -> Iterator[Row]:
+        """Group matching interval records into result rows: one row per
+        (s, p, o) binding with the coalesced validity restricted to the
+        window (the shared result shape of single-pattern matching)."""
+        from collections import defaultdict
+
+        from ..model.time import PeriodSet
+
+        groups: dict[tuple, list[Period]] = defaultdict(list)
+        for sid, pid, oid, period in records:
+            groups[(sid, pid, oid)].append(period)
+        for (sid, pid, oid), parts in groups.items():
+            validity = PeriodSet(parts).restrict(window)
+            if validity.is_empty:
+                continue
+            row = self.bind(pattern, sid, pid, oid)
+            if row is None:
+                continue
+            if isinstance(pattern.time, Var):
+                row[pattern.time.name] = validity
+            yield row
+
+    def term_ids(self, pattern: QuadPattern) -> tuple:
+        """(sid, pid, oid) with None for variables; -1 for unknown terms."""
+        out = []
+        for term in (pattern.subject, pattern.predicate, pattern.object):
+            if isinstance(term, Var):
+                out.append(None)
+            else:
+                found = self.dictionary.lookup(term.value)
+                out.append(-1 if found is None else found)
+        return tuple(out)

@@ -1,0 +1,21 @@
+"""Benchmark harness: scaling, timing, sizing, per-figure experiments."""
+
+from .harness import (
+    format_table,
+    mb,
+    report,
+    scale,
+    scaled,
+    time_callable,
+    time_queries,
+)
+
+__all__ = [
+    "format_table",
+    "mb",
+    "report",
+    "scale",
+    "scaled",
+    "time_callable",
+    "time_queries",
+]

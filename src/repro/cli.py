@@ -1,0 +1,180 @@
+"""Command-line interface for RDF-TX.
+
+Subcommands::
+
+    repro-tx info DATASET.tnq              dataset statistics
+    repro-tx query DATASET.tnq 'SELECT …'  run a SPARQLT query
+    repro-tx shell DATASET.tnq             interactive SPARQLT shell
+    repro-tx generate KIND N OUT.tnq       write a synthetic dataset
+
+``DATASET`` files use the temporal N-Quads format (see ``repro.io``);
+``.gz`` paths are compressed transparently.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import io as tio
+from .engine import RDFTX
+from .model.time import format_chronon
+from .optimizer import Optimizer
+from .sparqlt import SparqltError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tx",
+        description="RDF-TX: query the history of RDF knowledge bases",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="dataset statistics")
+    info.add_argument("dataset")
+
+    query = sub.add_parser("query", help="run one SPARQLT query")
+    query.add_argument("dataset")
+    query.add_argument("sparqlt", help="the SPARQLT query text")
+    query.add_argument("--explain", action="store_true",
+                       help="print the query plan")
+    query.add_argument("--no-optimizer", action="store_true",
+                       help="disable the cost-based optimizer")
+    query.add_argument("--time", action="store_true",
+                       help="print execution time")
+
+    shell = sub.add_parser("shell", help="interactive SPARQLT shell")
+    shell.add_argument("dataset")
+    shell.add_argument("--no-optimizer", action="store_true")
+
+    generate = sub.add_parser("generate", help="write a synthetic dataset")
+    generate.add_argument("kind", choices=("wikipedia", "govtrack", "yago"))
+    generate.add_argument("triples", type=int)
+    generate.add_argument("output")
+    generate.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _load_engine(path: str, use_optimizer: bool) -> RDFTX:
+    graph = tio.load_graph(path)
+    optimizer = Optimizer() if use_optimizer else None
+    engine = RDFTX.from_graph(graph, optimizer=optimizer)
+    engine._graph = graph  # kept for info reporting
+    return engine
+
+
+def cmd_info(args) -> int:
+    graph = tio.load_graph(args.dataset)
+    engine = RDFTX.from_graph(graph)
+    predicates = graph.predicate_counts()
+    starts = [t.period.start for t in graph]
+    print(f"triples:        {len(graph)}")
+    print(f"subjects:       {graph.distinct_subjects()}")
+    print(f"predicates:     {len(predicates)}")
+    if starts:
+        print(f"history:        {format_chronon(min(starts))} .. "
+              f"{format_chronon(engine.horizon - 1)}")
+    live = sum(1 for t in graph if t.period.is_live)
+    print(f"live facts:     {live}")
+    print(f"raw size:       {graph.raw_size()} bytes")
+    print(f"index size:     {engine.sizeof()} bytes (4 compressed MVBT "
+          f"+ dictionary)")
+    return 0
+
+
+def cmd_query(args) -> int:
+    engine = _load_engine(args.dataset, not args.no_optimizer)
+    try:
+        if args.explain:
+            print(engine.explain(args.sparqlt))
+            print()
+        start = time.perf_counter()
+        result = engine.query(args.sparqlt)
+        elapsed = (time.perf_counter() - start) * 1000
+    except SparqltError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(result.to_table())
+    print(f"\n{len(result)} row(s)", end="")
+    if args.time:
+        print(f" in {elapsed:.2f} ms", end="")
+    print()
+    return 0
+
+
+def cmd_shell(args) -> int:
+    engine = _load_engine(args.dataset, not args.no_optimizer)
+    print(f"RDF-TX shell — {args.dataset} loaded "
+          f"({sum(t.live_records for t in engine.indexes.values()) // 4} "
+          f"live facts). Type .help for commands.")
+    explain = False
+    buffer: list[str] = []
+    while True:
+        prompt = "... " if buffer else "tx> "
+        try:
+            line = input(prompt)
+        except EOFError:
+            print()
+            return 0
+        stripped = line.strip()
+        if not buffer and stripped.startswith("."):
+            if stripped in (".quit", ".exit"):
+                return 0
+            if stripped == ".help":
+                print(".quit        leave the shell\n"
+                      ".explain     toggle plan printing\n"
+                      "end a query with an empty line or ';'")
+            elif stripped == ".explain":
+                explain = not explain
+                print(f"explain {'on' if explain else 'off'}")
+            else:
+                print(f"unknown command {stripped!r}")
+            continue
+        if stripped.endswith(";"):
+            buffer.append(stripped[:-1])
+        elif stripped:
+            buffer.append(stripped)
+            continue
+        if not buffer:
+            continue
+        text = " ".join(buffer)
+        buffer = []
+        try:
+            if explain:
+                print(engine.explain(text))
+            result = engine.query(text)
+            print(result.to_table())
+            print(f"{len(result)} row(s)")
+        except SparqltError as error:
+            print(f"error: {error}")
+
+
+def cmd_generate(args) -> int:
+    from .datasets import govtrack, wikipedia, yago
+
+    if args.kind == "wikipedia":
+        graph = wikipedia.generate(args.triples, seed=args.seed).graph
+    elif args.kind == "govtrack":
+        graph = govtrack.generate(args.triples, seed=args.seed).graph
+    else:
+        graph = yago.generate(args.triples, seed=args.seed).graph
+    count = tio.dump_graph(graph, args.output)
+    print(f"wrote {count} triples to {args.output}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "info": cmd_info,
+        "query": cmd_query,
+        "shell": cmd_shell,
+        "generate": cmd_generate,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

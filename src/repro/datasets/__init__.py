@@ -1,0 +1,21 @@
+"""Synthetic dataset and query-workload generators (paper Section 7.1)."""
+
+from . import govtrack, queries, wikipedia, yago
+from .govtrack import GovTrackDataset
+from .queries import complex_queries, join_queries, selection_queries
+from .wikipedia import WikipediaDataset, table1_statistics
+from .yago import YagoDataset
+
+__all__ = [
+    "GovTrackDataset",
+    "WikipediaDataset",
+    "YagoDataset",
+    "complex_queries",
+    "govtrack",
+    "join_queries",
+    "queries",
+    "selection_queries",
+    "table1_statistics",
+    "wikipedia",
+    "yago",
+]

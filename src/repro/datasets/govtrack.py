@@ -1,0 +1,125 @@
+"""Synthetic GovTrack history (paper Section 7.1.1).
+
+The real GovTrack dataset has 20M historical records over 0.4M subjects and
+only ~60 event predicates, with a *small* number of distinct time periods
+(~10k) because events cluster on legislative session dates.  Those two
+properties drive the paper's GovTrack observations: patterns like P/PT
+return far more results than on Wikipedia, and the coarse time domain favors
+systems with few distinct named graphs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..model.graph import TemporalGraph
+from ..model.time import NOW, date_to_chronon
+
+SESSION_START = date_to_chronon("1990-01-03")
+
+#: The ~60 GovTrack event/relation predicates, grouped by entity kind.
+CONGRESSMAN_PREDICATES = tuple(
+    f"cm_{name}" for name in (
+        "represents", "party", "committee", "sponsor", "cosponsor",
+        "vote_yes", "vote_no", "vote_abstain", "term", "office",
+        "chamber", "leadership", "caucus", "endorsement", "rating",
+    )
+)
+BILL_PREDICATES = tuple(
+    f"bill_{name}" for name in (
+        "introduced", "status", "committee_referral", "amendment",
+        "vote_result", "cbo_score", "related_to", "subject",
+        "cosponsor_count", "title",
+    )
+)
+COMMITTEE_PREDICATES = tuple(
+    f"comm_{name}" for name in (
+        "chair", "member", "jurisdiction", "subcommittee", "hearing",
+    )
+)
+
+
+@dataclass
+class GovTrackDataset:
+    graph: TemporalGraph
+    #: number of distinct chronons used (small by construction)
+    session_dates: list[int] = field(default_factory=list)
+
+
+def generate(n_triples: int, seed: int = 0,
+             n_periods: int = 400) -> GovTrackDataset:
+    """Generate approximately ``n_triples`` records over a coarse time grid.
+
+    ``n_periods`` bounds the number of distinct timestamps (the paper notes
+    ~10000 at full scale; scale it with the dataset).
+    """
+    rng = random.Random(seed)
+    dataset = GovTrackDataset(graph=TemporalGraph())
+    # Legislative session dates: multiples of weeks from the epoch.
+    dates = sorted(
+        rng.sample(
+            range(SESSION_START, SESSION_START + 26 * 365, 7),
+            min(n_periods, 26 * 52),
+        )
+    )
+    dataset.session_dates = dates
+    produced = 0
+    serial = 0
+    # ~50 records per subject at full scale (20M / 0.4M).  Subjects of one
+    # kind share a handful of predicate-set *variants*: real entities of
+    # the same kind use nearly identical predicate sets, which is exactly
+    # why characteristic sets summarize well (Section 6.1).  Random
+    # per-subject subsets would explode the number of characteristic sets.
+    while produced < n_triples:
+        kind = rng.random()
+        if kind < 0.5:
+            template = CONGRESSMAN_PREDICATES
+            subject = f"congressman_{serial}"
+            records = rng.randint(20, 80)
+        elif kind < 0.9:
+            template = BILL_PREDICATES
+            subject = f"bill_{serial}"
+            records = rng.randint(5, 40)
+        else:
+            template = COMMITTEE_PREDICATES
+            subject = f"committee_{serial}"
+            records = rng.randint(30, 120)
+        variant = rng.randrange(4)
+        # Variant k drops the k-th predicate (variant 0 keeps them all).
+        predicates = tuple(
+            p for i, p in enumerate(template) if variant == 0 or i != variant
+        )
+        serial += 1
+        produced += _emit_subject(rng, dataset, subject, predicates, records, dates)
+    return dataset
+
+
+def _emit_subject(rng, dataset, subject, predicates, records, dates) -> int:
+    produced = 0
+    live: dict[tuple[str, str], int] = {}
+    records = max(records, len(predicates))
+    for index in range(records):
+        # Cover every predicate of the variant once (so subjects of one
+        # variant share a characteristic set), then draw randomly.
+        if index < len(predicates):
+            predicate = predicates[index]
+        else:
+            predicate = rng.choice(predicates)
+        value = f"{predicate}_v{rng.randrange(200)}"
+        start_idx = rng.randrange(len(dates) - 1)
+        start = dates[start_idx]
+        if rng.random() < 0.15:
+            end = NOW
+        else:
+            end_idx = min(
+                start_idx + rng.randint(1, 26), len(dates) - 1
+            )
+            end = dates[end_idx]
+        key = (predicate, value)
+        if key in live and live[key] > start:
+            continue  # avoid overlapping duplicates of the same fact
+        live[key] = end if end != NOW else 2**40
+        dataset.graph.add(subject, predicate, value, start, end)
+        produced += 1
+    return produced

@@ -1,0 +1,72 @@
+"""Synthetic Yago2-style temporal knowledge base (paper Section 7.1.1).
+
+Yago2 annotates facts extracted from Wikipedia/WordNet/GeoNames with time.
+Compared to the Wikipedia edit history, a Yago2-like dataset has more
+predicates, fewer updates per fact (valid-time annotations rather than edit
+churn), and many eternal facts.  The paper reports its results on Yago2 are
+"very similar to Wikipedia and GovTrack"; the generator exists so the full
+benchmark matrix can be reproduced.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..model.graph import TemporalGraph
+from ..model.time import NOW, date_to_chronon
+
+# The chronon domain starts at 1970-01-01 (day 0), so the synthetic
+# valid-time annotations start there too.
+EPOCH = date_to_chronon("1970-01-01")
+END = date_to_chronon("2015-12-31")
+
+ENTITY_KINDS = {
+    "person": (
+        "bornIn", "livesIn", "worksAt", "hasWonPrize", "isMarriedTo",
+        "graduatedFrom", "holdsPosition",
+    ),
+    "organization": (
+        "locatedIn", "hasEmployee", "owns", "hasRevenue", "foundedBy",
+    ),
+    "place": (
+        "hasPopulation", "hasMayor", "belongsTo", "hasArea",
+    ),
+}
+
+
+@dataclass
+class YagoDataset:
+    graph: TemporalGraph
+
+
+def generate(n_triples: int, seed: int = 0) -> YagoDataset:
+    """Generate approximately ``n_triples`` Yago2-like temporal facts."""
+    rng = random.Random(seed)
+    dataset = YagoDataset(graph=TemporalGraph())
+    kinds = list(ENTITY_KINDS)
+    produced = 0
+    serial = 0
+    while produced < n_triples:
+        kind = rng.choice(kinds)
+        subject = f"{kind}_{serial}"
+        serial += 1
+        for predicate in ENTITY_KINDS[kind]:
+            if rng.random() < 0.35:
+                continue  # sparse facts
+            versions = 1 if rng.random() < 0.7 else rng.randint(2, 4)
+            time = rng.randint(EPOCH, END - 800)
+            for version in range(versions):
+                if time >= END:
+                    break
+                value = f"{predicate}_e{rng.randrange(3000)}"
+                if version == versions - 1 and rng.random() < 0.6:
+                    end = NOW
+                else:
+                    end = min(time + rng.randint(200, 4000), END)
+                dataset.graph.add(subject, predicate, value, time, end)
+                produced += 1
+                if end == NOW:
+                    break
+                time = end
+    return dataset

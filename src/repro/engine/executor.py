@@ -1,0 +1,222 @@
+"""Plan execution: ordered scans, joins, filters, projection (Section 5)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..model.dictionary import Dictionary
+from ..mvbt.tree import MVBT
+from ..sparqlt.ast import Expr, expr_variables
+from .operators import (
+    Row,
+    apply_filters,
+    hash_join_rows,
+    index_scan,
+    nested_loop_product,
+    project,
+    synchronized_join_applicable,
+    synchronized_join_rows,
+)
+from .plan import PlanGraph
+
+#: Index name -> MVBT mapping held by the engine.
+IndexSet = dict
+
+
+def default_order(graph: PlanGraph) -> list[int]:
+    """Heuristic join order used when the optimizer is disabled.
+
+    Starts from the most selective pattern (most constant positions, then
+    narrowest time window) and repeatedly appends the most selective pattern
+    connected to the group, avoiding cross products when possible.
+    """
+
+    def selectivity(index: int) -> tuple:
+        plan = graph.patterns[index]
+        return (-len(plan.pattern_type), plan.time_range.length())
+
+    remaining = set(range(len(graph.patterns)))
+    order: list[int] = []
+    while remaining:
+        connected = [i for i in remaining if graph.connected(set(order), i)]
+        pool = connected or sorted(remaining)
+        best = min(pool, key=selectivity)
+        order.append(best)
+        remaining.discard(best)
+    return order
+
+
+def execute(
+    graph: PlanGraph,
+    indexes: IndexSet,
+    dictionary: Dictionary,
+    horizon: int,
+    order: list[int] | None = None,
+) -> list[Row]:
+    """Run the plan and return projected result rows.
+
+    Filters are pushed to the earliest point where their variables are all
+    bound; the remaining conjuncts run before projection.
+    """
+    if order is None:
+        order = default_order(graph)
+    conjuncts = graph.query.filter_conjuncts()
+    pending = [(c, expr_variables(c)) for c in conjuncts]
+
+    rows: list[Row] | None = None
+    bound: set[str] = set()
+    # Section 5.2.2: when the first join's inputs both sweep a large
+    # portion of their index, use the cache-optimized synchronized join
+    # instead of materializing a hash table.
+    if len(order) >= 2:
+        first, second = graph.patterns[order[0]], graph.patterns[order[1]]
+        shared = first.pattern.variables() & second.pattern.variables()
+        if synchronized_join_applicable(first, second, shared):
+            rows = list(
+                synchronized_join_rows(
+                    indexes[first.index_order], first,
+                    indexes[second.index_order], second,
+                )
+            )
+            bound = first.pattern.variables() | second.pattern.variables()
+            order = order[2:]
+            rows, pending = _apply_ready_filters(
+                rows, pending, bound, dictionary, horizon
+            )
+            if not rows:
+                return []
+    for index in order:
+        plan = graph.patterns[index]
+        tree: MVBT = indexes[plan.index_order]
+        scanned = index_scan(tree, plan)
+        pattern_vars = plan.pattern.variables()
+        if rows is None:
+            rows = list(scanned)
+        else:
+            shared = bound & pattern_vars
+            if shared:
+                rows = list(hash_join_rows(rows, scanned, shared))
+            else:
+                rows = list(nested_loop_product(rows, scanned))
+        bound |= pattern_vars
+        rows, pending = _apply_ready_filters(
+            rows, pending, bound, dictionary, horizon
+        )
+        if not rows:
+            return []
+    if pending:
+        # Filters over unbound variables: evaluate anyway so the error
+        # surfaces (unbound-variable filters are user mistakes).
+        rows = list(
+            apply_filters(rows, [c for c, _ in pending], dictionary, horizon)
+        )
+    return rows
+
+
+def _apply_ready_filters(
+    rows: list[Row],
+    pending: list[tuple[Expr, set[str]]],
+    bound: set[str],
+    dictionary: Dictionary,
+    horizon: int,
+) -> tuple[list[Row], list[tuple[Expr, set[str]]]]:
+    ready = [c for c, vars_ in pending if vars_ <= bound]
+    if not ready:
+        return rows, pending
+    rest = [(c, v) for c, v in pending if not (v <= bound)]
+    filtered = list(apply_filters(rows, ready, dictionary, horizon))
+    return filtered, rest
+
+def execute_group(
+    group,
+    indexes: IndexSet,
+    dictionary: Dictionary,
+    horizon: int,
+    choose_order: "Callable | None" = None,
+) -> list[Row]:
+    """Evaluate a :class:`~repro.sparqlt.ast.GroupGraphPattern`.
+
+    Standard SPARQL algebra over the conjunctive core: the base patterns
+    are planned and joined as usual, UNION blocks evaluate each branch and
+    concatenate, OPTIONAL blocks left-outer-join, and the group's filters
+    run over the combined rows (restrictions on temporal variables are also
+    pushed into the base scans as windows).
+    """
+    from ..sparqlt.ast import Query as _Query
+    from ..engine.patterns import UnknownTermError, translate_pattern
+    from .operators import left_outer_join_rows
+
+    conjuncts = group.filter_conjuncts()
+    rows: list[Row] | None = None
+    bound: set[str] = set()
+
+    if group.patterns:
+        stub = _Query(select=[], patterns=group.patterns, filters=[])
+        try:
+            plans = [
+                translate_pattern(p, dictionary, conjuncts)
+                for p in group.patterns
+            ]
+        except UnknownTermError:
+            return []
+        plan_graph = PlanGraph.build(stub, plans)
+        order = (
+            choose_order(plan_graph) if choose_order is not None
+            else default_order(plan_graph)
+        )
+        rows = execute(plan_graph, indexes, dictionary, horizon, order)
+        bound = {
+            name for pattern in group.patterns
+            for name in pattern.variables()
+        }
+        if not rows:
+            return []
+
+    for branches in group.unions:
+        union_rows: list[Row] = []
+        union_vars: set[str] = set()
+        for branch in branches:
+            union_rows.extend(
+                execute_group(branch, indexes, dictionary, horizon,
+                              choose_order)
+            )
+            union_vars |= branch.variables()
+        if rows is None:
+            rows = union_rows
+        else:
+            shared = bound & union_vars
+            if shared:
+                rows = list(hash_join_rows(rows, union_rows, shared))
+            else:
+                rows = list(nested_loop_product(rows, union_rows))
+        bound |= union_vars
+        if not rows:
+            return []
+
+    for optional in group.optionals:
+        optional_rows = execute_group(
+            optional, indexes, dictionary, horizon, choose_order
+        )
+        shared = bound & optional.variables()
+        rows = list(left_outer_join_rows(rows or [], optional_rows, shared))
+        bound |= optional.variables()
+
+    if rows is None:
+        return []
+    if conjuncts:
+        # Filters referencing optional variables must tolerate unbound
+        # rows: a filter that cannot be evaluated rejects the row, per
+        # SPARQL's error semantics.
+        from ..sparqlt.errors import EvaluationError
+
+        surviving = []
+        for row in rows:
+            try:
+                kept = list(
+                    apply_filters([row], conjuncts, dictionary, horizon)
+                )
+            except EvaluationError:
+                continue
+            surviving.extend(kept)
+        rows = surviving
+    return rows

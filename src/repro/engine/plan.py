@@ -1,0 +1,76 @@
+"""Query plans (Section 5.1).
+
+A compiled SPARQLT query is a *plan graph*: one node per interval-based query
+pattern, with an edge wherever two patterns share a variable (joins).  The
+optimizer reorders the joins; the executor folds the ordered patterns with
+hash joins and then applies residual filters and the projection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from ..sparqlt.ast import Expr, Query
+from .patterns import PatternPlan
+
+
+@dataclass
+class PlanGraph:
+    """The join graph over translated patterns."""
+
+    query: Query
+    patterns: list[PatternPlan]
+    filters: list[Expr] = field(default_factory=list)
+    #: pairs of pattern indices sharing at least one variable.
+    edges: list[tuple[int, int]] = field(default_factory=list)
+    #: shared variable names per edge, parallel to ``edges``.
+    edge_vars: list[set[str]] = field(default_factory=list)
+
+    @classmethod
+    def build(
+        cls, query: Query, patterns: list[PatternPlan]
+    ) -> "PlanGraph":
+        graph = cls(query=query, patterns=patterns, filters=query.filters)
+        variables = [p.pattern.variables() for p in patterns]
+        for i, j in combinations(range(len(patterns)), 2):
+            shared = variables[i] & variables[j]
+            if shared:
+                graph.edges.append((i, j))
+                graph.edge_vars.append(shared)
+        return graph
+
+    def neighbors(self, index: int) -> set[int]:
+        out = set()
+        for i, j in self.edges:
+            if i == index:
+                out.add(j)
+            elif j == index:
+                out.add(i)
+        return out
+
+    def connected(self, group: set[int], candidate: int) -> bool:
+        """Whether joining ``candidate`` into ``group`` avoids a cross
+        product."""
+        if not group:
+            return True
+        return bool(self.neighbors(candidate) & group)
+
+    def describe(self, order: list[int] | None = None) -> str:
+        """Human-readable plan summary (used by ``RDFTX.explain``)."""
+        order = order if order is not None else list(range(len(self.patterns)))
+        lines = ["Plan:"]
+        for rank, index in enumerate(order):
+            plan = self.patterns[index]
+            est = (
+                f" est={plan.estimate:.0f}" if plan.estimate is not None else ""
+            )
+            lines.append(
+                f"  {rank + 1}. scan {plan.index_order.upper()} "
+                f"{plan.pattern} type={plan.pattern_type or 'full'}"
+                f" time=[{plan.time_range.start},{plan.time_range.end})"
+                f"{est}"
+            )
+        if self.filters:
+            lines.append(f"  filters: {len(self.filters)}")
+        return "\n".join(lines)

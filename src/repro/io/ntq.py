@@ -1,0 +1,180 @@
+"""Temporal N-Quads: a line-based interchange format for temporal RDF.
+
+Each line carries one interval-encoded fact::
+
+    subject predicate object start end .
+
+* Terms are bare tokens, or double-quoted (with ``\\"`` and ``\\\\``
+  escapes) when they contain whitespace or quotes.
+* ``start``/``end`` are ISO dates (``2013-09-30``) or integer chronons;
+  ``end`` may be ``now`` for live facts.
+* ``#`` starts a comment; blank lines are ignored.
+* Files ending in ``.gz`` are read/written gzip-compressed.
+
+This is the on-disk companion of :class:`~repro.model.graph.TemporalGraph`
+— the backup/recovery scenario of the paper's Section 2.1 needs a durable
+form of the history, and the CLI and examples load datasets through it.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import re
+from pathlib import Path
+from typing import IO, Iterable, Iterator
+
+from ..model.graph import TemporalGraph
+from ..model.time import NOW, TimeError, chronon_to_date, date_to_chronon
+from ..model.triple import TemporalTriple
+
+
+class FormatError(ValueError):
+    """A malformed temporal N-Quads line."""
+
+    def __init__(self, message: str, line_number: int) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+_BARE_TOKEN = re.compile(r'^[^\s"#]+$')
+_TOKEN = re.compile(
+    r'''\s*(?:
+        "(?P<quoted>(?:[^"\\]|\\.)*)"
+      | (?P<bare>[^\s"#]+)
+    )''',
+    re.VERBOSE,
+)
+
+
+def _escape(term: str) -> str:
+    if _BARE_TOKEN.match(term) and term not in (".", "now"):
+        return term
+    escaped = term.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _unescape(text: str) -> str:
+    return text.replace('\\"', '"').replace("\\\\", "\\")
+
+
+def _format_time(chronon: int) -> str:
+    if chronon == NOW:
+        return "now"
+    return chronon_to_date(chronon).isoformat()
+
+
+def _parse_time(token: str, line_number: int) -> int:
+    if token == "now":
+        return NOW
+    if token.isdigit():
+        return int(token)
+    try:
+        return date_to_chronon(token)
+    except TimeError:
+        raise FormatError(f"bad timestamp {token!r}", line_number) from None
+
+
+def _tokenize(line: str, line_number: int) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(line):
+        rest = line[pos:]
+        if rest.lstrip().startswith("#") or not rest.strip():
+            break
+        match = _TOKEN.match(line, pos)
+        if match is None:
+            raise FormatError(f"cannot tokenize near {rest.strip()!r}",
+                              line_number)
+        if match.group("quoted") is not None:
+            tokens.append(_unescape(match.group("quoted")))
+        else:
+            tokens.append(match.group("bare"))
+        pos = match.end()
+    return tokens
+
+
+# -------------------------------------------------------------------- write
+
+
+def dump_triples(triples: Iterable[TemporalTriple], target: IO[str]) -> int:
+    """Write temporal triples to an open text stream; returns the count."""
+    count = 0
+    for triple in triples:
+        target.write(
+            f"{_escape(triple.subject)} {_escape(triple.predicate)} "
+            f"{_escape(triple.object)} "
+            f"{_format_time(triple.period.start)} "
+            f"{_format_time(triple.period.end)} .\n"
+        )
+        count += 1
+    return count
+
+
+def dump_graph(graph: TemporalGraph, path: str | Path) -> int:
+    """Write a temporal graph to ``path`` (gzip if it ends with .gz)."""
+    path = Path(path)
+    with _open_write(path) as handle:
+        handle.write("# temporal n-quads: s p o start end .\n")
+        return dump_triples(graph.triples(), handle)
+
+
+def dumps(graph: TemporalGraph) -> str:
+    """Serialize a temporal graph to a string."""
+    buffer = io.StringIO()
+    dump_triples(graph.triples(), buffer)
+    return buffer.getvalue()
+
+
+# --------------------------------------------------------------------- read
+
+
+def iter_triples(source: IO[str]) -> Iterator[TemporalTriple]:
+    """Parse temporal triples from an open text stream."""
+    for line_number, line in enumerate(source, start=1):
+        tokens = _tokenize(line, line_number)
+        if not tokens:
+            continue
+        if tokens[-1] == ".":
+            tokens = tokens[:-1]
+        if len(tokens) != 5:
+            raise FormatError(
+                f"expected 5 fields, found {len(tokens)}", line_number
+            )
+        subject, predicate, object_, start_token, end_token = tokens
+        start = _parse_time(start_token, line_number)
+        end = _parse_time(end_token, line_number)
+        if end != NOW and end <= start:
+            raise FormatError(
+                f"empty interval [{start_token}, {end_token}]", line_number
+            )
+        yield TemporalTriple.make(subject, predicate, object_, start, end)
+
+
+def load_graph(path: str | Path) -> TemporalGraph:
+    """Read a temporal graph from ``path`` (gzip if it ends with .gz)."""
+    graph = TemporalGraph()
+    with _open_read(Path(path)) as handle:
+        for triple in iter_triples(handle):
+            graph.add_triple(triple)
+    return graph
+
+
+def loads(text: str) -> TemporalGraph:
+    """Parse a temporal graph from a string."""
+    graph = TemporalGraph()
+    for triple in iter_triples(io.StringIO(text)):
+        graph.add_triple(triple)
+    return graph
+
+
+def _open_write(path: Path) -> IO[str]:
+    if path.suffix == ".gz":
+        return gzip.open(path, "wt", encoding="utf-8")
+    return open(path, "w", encoding="utf-8")
+
+
+def _open_read(path: Path) -> IO[str]:
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")

@@ -1,0 +1,42 @@
+"""Temporal RDF data model: time domain, triples, dictionary, graphs."""
+
+from .dictionary import Dictionary, DictionaryError
+from .graph import TemporalGraph
+from .time import (
+    MIN_TIME,
+    NOW,
+    Period,
+    PeriodSet,
+    TimeError,
+    chronon_to_date,
+    date_to_chronon,
+    day_of,
+    format_chronon,
+    month_of,
+    month_range,
+    year_of,
+    year_range,
+)
+from .triple import EncodedTriple, TemporalTriple, Triple
+
+__all__ = [
+    "Dictionary",
+    "DictionaryError",
+    "EncodedTriple",
+    "MIN_TIME",
+    "NOW",
+    "Period",
+    "PeriodSet",
+    "TemporalGraph",
+    "TemporalTriple",
+    "TimeError",
+    "Triple",
+    "chronon_to_date",
+    "date_to_chronon",
+    "day_of",
+    "format_chronon",
+    "month_of",
+    "month_range",
+    "year_of",
+    "year_range",
+]

@@ -1,0 +1,39 @@
+"""Multiversion B+ Tree: the RDF-TX storage and index structure (Sec 4-5)."""
+
+from .compression import CompressedLeafStore, CompressionError
+from .entry import IndexEntry, LeafEntry, MAX_KEY_COMPONENT, MIN_KEY
+from .join import hash_join, synchronized_join
+from .node import IndexNode, LeafNode
+from .scan import MAX_KEY, collect_validity, prefix_range, range_interval_scan, scan_pieces
+from .tree import (
+    DuplicateKeyError,
+    MVBT,
+    MVBTConfig,
+    MVBTError,
+    TimeOrderError,
+    bulk_load,
+)
+
+__all__ = [
+    "CompressedLeafStore",
+    "CompressionError",
+    "DuplicateKeyError",
+    "IndexEntry",
+    "IndexNode",
+    "LeafEntry",
+    "LeafNode",
+    "MAX_KEY",
+    "MAX_KEY_COMPONENT",
+    "MIN_KEY",
+    "MVBT",
+    "MVBTConfig",
+    "MVBTError",
+    "TimeOrderError",
+    "bulk_load",
+    "collect_validity",
+    "hash_join",
+    "prefix_range",
+    "range_interval_scan",
+    "scan_pieces",
+    "synchronized_join",
+]

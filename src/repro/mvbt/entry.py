@@ -1,0 +1,80 @@
+"""MVBT entries (Section 4.1.1).
+
+An MVBT entry is ``(key, start version, end version, data value / pointer)``.
+Keys are tuples of dictionary ids (3-tuples in the RDF-TX indices, but any
+comparable tuple works).  ``end == NOW`` marks a *live* entry.
+
+Key-domain sentinels: the empty tuple ``()`` compares below every nonempty
+tuple of ints and serves as the lower extremum of the key space (the paper's
+``_``); :data:`MAX_KEY_COMPONENT` bounds components from above (the ``∞``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..model.time import NOW
+
+#: Lower extremum of the key domain.
+MIN_KEY: tuple = ()
+
+#: Upper bound usable as a key component (no dictionary id ever reaches it).
+MAX_KEY_COMPONENT: int = 2**62
+
+Key = tuple
+
+
+@dataclass
+class LeafEntry:
+    """A data entry in an MVBT leaf: the record ``key`` lives in
+    ``[start, end)``; ``payload`` carries the record (often ``None`` because
+    in RDF-TX the key *is* the encoded triple)."""
+
+    __slots__ = ("key", "start", "end", "payload")
+
+    key: Key
+    start: int
+    end: int
+    payload: Any
+
+    @property
+    def is_live(self) -> bool:
+        return self.end == NOW
+
+    def alive_at(self, chronon: int) -> bool:
+        return self.start <= chronon < self.end
+
+    def overlaps(self, t1: int, t2: int) -> bool:
+        """Whether the entry's lifetime intersects ``[t1, t2)``."""
+        return self.start < t2 and t1 < self.end
+
+    def copy(self) -> "LeafEntry":
+        return LeafEntry(self.key, self.start, self.end, self.payload)
+
+
+@dataclass
+class IndexEntry:
+    """A routing entry in an MVBT index node.
+
+    ``key`` is the lower bound of the child's key region; the live index
+    entries of a node partition its key region at every version in the node's
+    lifetime.
+    """
+
+    __slots__ = ("key", "start", "end", "child")
+
+    key: Key
+    start: int
+    end: int
+    child: Any  # Node; typed loosely to avoid a circular import
+
+    @property
+    def is_live(self) -> bool:
+        return self.end == NOW
+
+    def alive_at(self, chronon: int) -> bool:
+        return self.start <= chronon < self.end
+
+    def overlaps(self, t1: int, t2: int) -> bool:
+        return self.start < t2 and t1 < self.end

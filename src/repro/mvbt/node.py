@@ -1,0 +1,254 @@
+"""MVBT nodes.
+
+Nodes carry their own lifetime ``[start, death)``: a version split *kills* the
+old node (sets ``death``) and copies its live entries into new nodes, leaving
+the old entries untouched, exactly as in Becker et al.  Readers therefore
+clamp every entry's raw interval to the node's lifetime (the *effective
+period*) — the predecessor chain reconstructs full intervals across splits.
+
+Leaf nodes have two interchangeable storage backends: a plain entry list and
+the delta-compressed byte buffer of Section 4.2 (only leaves are compressed,
+matching the paper's trade-off).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from ..model.time import NOW, Period
+from .entry import IndexEntry, Key, LeafEntry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .compression import CompressedLeafStore
+
+
+class _NodeBase:
+    """State shared by leaf and index nodes: lifetime, region, lineage."""
+
+    def __init__(self, key_low: Key, start: int) -> None:
+        #: Lower bound of the node's key region.
+        self.key_low = key_low
+        #: Upper bound of the node's key region (None = unbounded).  Kept so
+        #: the link-based scan can prune predecessors on both key sides.
+        self.key_high: Key | None = None
+        #: First version of the node's lifetime.
+        self.start = start
+        #: Version at which the node was killed (NOW while alive).
+        self.death = NOW
+        #: Backward links to temporal predecessors (Sec 5.2.1, Fig 4).
+        self.predecessors: list[_NodeBase] = []
+
+    @property
+    def is_alive(self) -> bool:
+        return self.death == NOW
+
+    def lifetime_overlaps(self, t1: int, t2: int) -> bool:
+        """Whether the node's lifetime intersects ``[t1, t2)``."""
+        return self.start < t2 and t1 < self.death
+
+    def effective_period(self, start: int, end: int) -> Period | None:
+        """Clamp a raw entry interval to this node's lifetime."""
+        lo = max(start, self.start)
+        hi = min(end, self.death)
+        if lo >= hi:
+            return None
+        return Period(lo, hi)
+
+
+class LeafNode(_NodeBase):
+    """An MVBT leaf holding data entries."""
+
+    is_leaf = True
+
+    def __init__(self, key_low: Key, start: int) -> None:
+        super().__init__(key_low, start)
+        self._entries: list[LeafEntry] | None = []
+        self._store: "CompressedLeafStore | None" = None
+        self._live_count = 0
+
+    # -------------------------------------------------------------- storage
+
+    @property
+    def is_compressed(self) -> bool:
+        return self._store is not None
+
+    def compress(self) -> None:
+        """Switch to the delta-compressed byte-buffer backend."""
+        if self._store is not None:
+            return
+        from .compression import CompressedLeafStore
+
+        self._store = CompressedLeafStore(self._entries or [])
+        self._entries = None
+
+    def decompress(self) -> None:
+        """Switch back to the plain entry-list backend."""
+        if self._store is None:
+            return
+        self._entries = list(self._store.entries())
+        self._store = None
+
+    # --------------------------------------------------------------- access
+
+    def entries(self) -> Iterator[LeafEntry]:
+        """All entries in insertion (nondecreasing start-version) order."""
+        if self._store is not None:
+            return iter(self._store.entries())
+        return iter(self._entries)
+
+    @property
+    def count(self) -> int:
+        if self._store is not None:
+            return self._store.count
+        return len(self._entries)
+
+    @property
+    def live_count(self) -> int:
+        return self._live_count
+
+    def live_entries(self) -> list[LeafEntry]:
+        return [e for e in self.entries() if e.is_live]
+
+    def find_live(self, key: Key) -> LeafEntry | None:
+        """The live entry for ``key``, if any (keys unique per version)."""
+        for entry in self.entries():
+            if entry.is_live and entry.key == key:
+                return entry
+        return None
+
+    # ------------------------------------------------------------- mutation
+
+    def append(self, entry: LeafEntry) -> None:
+        """Append a fresh entry (entries arrive in nondecreasing start)."""
+        if self._store is not None:
+            self._store.append(entry)
+        else:
+            self._entries.append(entry)
+        if entry.is_live:
+            self._live_count += 1
+
+    def end_live(self, key: Key, end: int) -> bool:
+        """Logically delete: set the end version of the live ``key`` entry."""
+        if self._store is not None:
+            done = self._store.end_live(key, end)
+        else:
+            done = False
+            for entry in self._entries:
+                if entry.is_live and entry.key == key:
+                    entry.end = end
+                    done = True
+                    break
+        if done:
+            self._live_count -= 1
+        return done
+
+    def sizeof(self) -> int:
+        """Storage-layout size in bytes (see ``repro.bench.sizing``)."""
+        from .compression import STANDARD_ENTRY_BYTES, NODE_HEADER_BYTES
+
+        if self._store is not None:
+            return self._store.sizeof()
+        return NODE_HEADER_BYTES + STANDARD_ENTRY_BYTES * len(self._entries)
+
+    def __repr__(self) -> str:
+        state = "live" if self.is_alive else f"dead@{self.death}"
+        return (
+            f"<LeafNode key_low={self.key_low} [{self.start},{self.death}) "
+            f"{self.count} entries ({self.live_count} live) {state}>"
+        )
+
+
+class IndexNode(_NodeBase):
+    """An MVBT index (routing) node; never compressed."""
+
+    is_leaf = False
+
+    def __init__(self, key_low: Key, start: int) -> None:
+        super().__init__(key_low, start)
+        self._entries: list[IndexEntry] = []
+        self._live_count = 0
+
+    def entries(self) -> Iterator[IndexEntry]:
+        return iter(self._entries)
+
+    @property
+    def count(self) -> int:
+        return len(self._entries)
+
+    @property
+    def live_count(self) -> int:
+        return self._live_count
+
+    def live_entries(self) -> list[IndexEntry]:
+        return [e for e in self._entries if e.is_live]
+
+    def append(self, entry: IndexEntry) -> None:
+        self._entries.append(entry)
+        if entry.is_live:
+            self._live_count += 1
+
+    def end_child(self, child: _NodeBase, end: int) -> bool:
+        """Kill the live routing entry pointing at ``child``."""
+        for entry in self._entries:
+            if entry.is_live and entry.child is child:
+                entry.end = end
+                self._live_count -= 1
+                return True
+        return False
+
+    def route(self, key: Key, chronon: int) -> _NodeBase:
+        """The child whose region contains ``key`` at version ``chronon``."""
+        best: IndexEntry | None = None
+        for entry in self._entries:
+            if not entry.alive_at(chronon):
+                continue
+            if entry.key <= key and (best is None or entry.key > best.key):
+                best = entry
+        if best is None:
+            raise LookupError(
+                f"no route for key {key!r} at version {chronon}"
+            )
+        return best.child
+
+    def children_overlapping(
+        self, key_low: Key, key_high: Key, chronon: int
+    ) -> list[_NodeBase]:
+        """Children alive at ``chronon`` whose region intersects
+        ``[key_low, key_high)``.
+
+        The live entries at ``chronon`` partition the node's key region; each
+        child's region is ``[entry.key, next_entry.key)``.
+        """
+        alive = sorted(
+            (e for e in self._entries if e.alive_at(chronon)),
+            key=lambda e: e.key,
+        )
+        out: list[_NodeBase] = []
+        for idx, entry in enumerate(alive):
+            upper = alive[idx + 1].key if idx + 1 < len(alive) else None
+            if upper is not None and upper <= key_low:
+                continue
+            if entry.key >= key_high:
+                break
+            out.append(entry.child)
+        return out
+
+    def sizeof(self) -> int:
+        from .compression import STANDARD_ENTRY_BYTES, NODE_HEADER_BYTES
+
+        return NODE_HEADER_BYTES + STANDARD_ENTRY_BYTES * len(self._entries)
+
+    def __repr__(self) -> str:
+        state = "live" if self.is_alive else f"dead@{self.death}"
+        return (
+            f"<IndexNode key_low={self.key_low} [{self.start},{self.death}) "
+            f"{self.count} entries ({self.live_count} live) {state}>"
+        )
+
+
+Node = _NodeBase
+
+
+def live_partition(entries: Iterable[IndexEntry], chronon: int) -> list[IndexEntry]:
+    """Live routing entries at ``chronon`` sorted by region lower bound."""
+    return sorted((e for e in entries if e.alive_at(chronon)), key=lambda e: e.key)

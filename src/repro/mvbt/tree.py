@@ -1,0 +1,402 @@
+"""The Multiversion B+ Tree (Becker et al., VLDBJ 1996; paper Section 4.1).
+
+An MVBT is a *forest*: a registry of root nodes, each valid over a temporal
+partition (Figure 2(a)).  Entries are ``(key, start, end, payload)``;
+insertions and logical deletions must arrive in nondecreasing time order
+(transaction time).  Structure changes (Figure 2(c)):
+
+* **Version split** — an overflowing or weak-version-underflowing node is
+  killed and its live entries are copied into a fresh node.
+* **Key split** — if the copy would violate the strong upper bound it is split
+  by key into two nodes.
+* **Merge** — if the copy would violate the strong lower bound, a live sibling
+  is killed too and its live entries join the copy (with a key split if the
+  union is too big: *merge & key split*).
+
+New nodes carry backward links to the node(s) they were copied from; the
+link-based range-interval scan (Section 5.2.1) rides these links.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from ..model.time import MIN_TIME, NOW
+from .entry import IndexEntry, Key, LeafEntry, MIN_KEY
+from .node import IndexNode, LeafNode, Node, live_partition
+
+
+class MVBTError(Exception):
+    """Base error for MVBT operations."""
+
+
+class DuplicateKeyError(MVBTError):
+    """An insert found the key already live at the current version."""
+
+
+class TimeOrderError(MVBTError):
+    """Operations must arrive in nondecreasing time order."""
+
+
+@dataclass(frozen=True)
+class MVBTConfig:
+    """Structural parameters of the MVBT.
+
+    ``block_capacity`` (b) bounds total entries per node; ``weak_min`` (d) is
+    the weak-version condition; ``epsilon`` (e) widens the strong-version
+    bounds ``[weak_min + epsilon, block_capacity - epsilon]`` so that at least
+    ``epsilon`` operations separate consecutive structure changes of a node.
+    """
+
+    block_capacity: int = 16
+    weak_min: int = 3
+    epsilon: int = 3
+
+    def __post_init__(self) -> None:
+        b, d, e = self.block_capacity, self.weak_min, self.epsilon
+        if not (d >= 2 and e >= 1):
+            raise ValueError("weak_min >= 2 and epsilon >= 1 required")
+        if self.strong_min >= self.strong_max:
+            raise ValueError("strong bounds are empty")
+        # A version split of an overflowing node yields at most b + 1 live
+        # entries; after a key split each half must satisfy the strong
+        # bounds.
+        if (self.strong_max + 1) // 2 < self.strong_min:
+            raise ValueError("key split could violate the strong lower bound")
+        # A merge sees at most (strong_min - 1) + b live entries and must fit
+        # in at most two nodes.
+        if (d + e - 1 + b + 1) // 2 > self.strong_max:
+            raise ValueError("merge & key split could overflow")
+
+    @property
+    def strong_min(self) -> int:
+        return self.weak_min + self.epsilon
+
+    @property
+    def strong_max(self) -> int:
+        return self.block_capacity - self.epsilon
+
+
+class MVBT:
+    """An in-memory Multiversion B+ Tree over tuple keys."""
+
+    def __init__(self, config: MVBTConfig | None = None) -> None:
+        self.config = config or MVBTConfig()
+        first_root = LeafNode(MIN_KEY, MIN_TIME)
+        #: Root registry: parallel arrays of start versions and root nodes.
+        self._root_starts: list[int] = [MIN_TIME]
+        self._roots: list[Node] = [first_root]
+        self._now = MIN_TIME
+        self._live_records = 0
+        self._total_versions = 0
+
+    # ------------------------------------------------------------ accessors
+
+    @property
+    def current_time(self) -> int:
+        """Largest operation timestamp seen so far."""
+        return self._now
+
+    @property
+    def live_records(self) -> int:
+        """Number of keys live at the current version."""
+        return self._live_records
+
+    @property
+    def total_versions(self) -> int:
+        """Total number of entry versions ever inserted."""
+        return self._total_versions
+
+    @property
+    def live_root(self) -> Node:
+        return self._roots[-1]
+
+    def root_for(self, chronon: int) -> Node:
+        """The root of the temporal partition containing ``chronon``."""
+        idx = bisect.bisect_right(self._root_starts, chronon) - 1
+        return self._roots[max(idx, 0)]
+
+    # ------------------------------------------------------------ mutations
+
+    def insert(self, key: Key, time: int, payload: Any = None) -> None:
+        """Insert ``key`` at version ``time`` (live until deleted)."""
+        self._advance(time)
+        path = self._descend(key)
+        leaf: LeafNode = path[-1]
+        if leaf.find_live(key) is not None:
+            raise DuplicateKeyError(f"key already live: {key!r}")
+        leaf.append(LeafEntry(key, time, NOW, payload))
+        self._live_records += 1
+        self._total_versions += 1
+        if leaf.count > self.config.block_capacity:
+            self._restructure(path, time)
+
+    def delete(self, key: Key, time: int) -> None:
+        """Logically delete ``key`` at version ``time``."""
+        self._advance(time)
+        path = self._descend(key)
+        leaf: LeafNode = path[-1]
+        if not leaf.end_live(key, time):
+            raise KeyError(f"key not live: {key!r}")
+        self._live_records -= 1
+        if len(path) > 1 and leaf.live_count < self.config.weak_min:
+            self._restructure(path, time)
+
+    def insert_interval(self, key: Key, start: int, end: int,
+                        payload: Any = None) -> None:
+        """Insert an interval-encoded record, i.e. an insert at ``start``
+        followed by a delete at ``end`` — only valid when no operation with a
+        later timestamp has happened yet (bulk loads use
+        :func:`repro.mvbt.tree.bulk_load` which orders the events)."""
+        self.insert(key, start, payload)
+        if end != NOW:
+            self.delete(key, end)
+
+    def _advance(self, time: int) -> None:
+        if time < self._now:
+            raise TimeOrderError(
+                f"operation at {time} after watermark {self._now}"
+            )
+        self._now = time
+
+    # ------------------------------------------------------------- descent
+
+    def _descend(self, key: Key) -> list[Node]:
+        """Live path from the live root to the live leaf owning ``key``."""
+        node = self.live_root
+        path = [node]
+        while not node.is_leaf:
+            node = node.route(key, self._now)
+            path.append(node)
+        return path
+
+    # --------------------------------------------------- structure changes
+
+    def _restructure(self, path: list[Node], time: int) -> None:
+        """Version split (+ key split / merge) of ``path[-1]``."""
+        node = path[-1]
+        parent: IndexNode | None = path[-2] if len(path) > 1 else None
+        cfg = self.config
+
+        donors: list[Node] = [node]
+        live = self._snapshot_live(node, time)
+        if parent is not None and len(live) < cfg.strong_min:
+            sibling = self._find_live_sibling(parent, node)
+            if sibling is not None:
+                donors.append(sibling)
+                live.extend(self._snapshot_live(sibling, time))
+
+        live.sort(key=lambda e: e.key)
+        key_low = min(d.key_low for d in donors)
+        key_high = None
+        if all(d.key_high is not None for d in donors):
+            key_high = max(d.key_high for d in donors)
+        new_nodes = self._build_nodes(node.is_leaf, live, key_low, time)
+        if len(new_nodes) == 2:
+            new_nodes[0].key_high = new_nodes[1].key_low
+            new_nodes[1].key_high = key_high
+        elif new_nodes:
+            new_nodes[0].key_high = key_high
+        for donor in donors:
+            donor.death = time
+        for fresh in new_nodes:
+            fresh.predecessors = list(donors)
+
+        if parent is None:
+            self._replace_root(new_nodes, time)
+            return
+        for donor in donors:
+            parent.end_child(donor, time)
+        for fresh in new_nodes:
+            parent.append(IndexEntry(fresh.key_low, time, NOW, fresh))
+        self._check_parent(path[:-1], time)
+
+    def _snapshot_live(self, node: Node, time: int) -> list:
+        """Copies of the live entries with start clamped to the split time
+        never above the raw start (copies keep their raw start; the node
+        lifetime clamping at read time reconstructs the pieces)."""
+        copies = []
+        for entry in node.live_entries():
+            copy = entry.copy() if node.is_leaf else IndexEntry(
+                entry.key, entry.start, entry.end, entry.child
+            )
+            copies.append(copy)
+        return copies
+
+    def _build_nodes(
+        self, is_leaf: bool, live: list, key_low: Key, time: int
+    ) -> list[Node]:
+        """Pack sorted live entries into one or two strong-condition nodes."""
+        cfg = self.config
+        make = LeafNode if is_leaf else IndexNode
+        if len(live) > cfg.strong_max:
+            mid = len(live) // 2
+            left = make(key_low, time)
+            right = make(live[mid].key, time)
+            for entry in live[:mid]:
+                left.append(entry)
+            for entry in live[mid:]:
+                right.append(entry)
+            return [left, right]
+        fresh = make(key_low, time)
+        for entry in live:
+            fresh.append(entry)
+        return [fresh]
+
+    def _find_live_sibling(
+        self, parent: IndexNode, node: Node
+    ) -> Node | None:
+        """The live child adjacent (by key region) to ``node``."""
+        alive = live_partition(parent.entries(), self._now)
+        idx = next(
+            (i for i, e in enumerate(alive) if e.child is node), None
+        )
+        if idx is None:
+            return None
+        if idx > 0:
+            return alive[idx - 1].child
+        if idx + 1 < len(alive):
+            return alive[idx + 1].child
+        return None
+
+    def _replace_root(self, new_nodes: list[Node], time: int) -> None:
+        """Register the successor(s) of a split root (Figure 2(a))."""
+        if not new_nodes:
+            self._register_root(LeafNode(MIN_KEY, time), time)
+            return
+        if len(new_nodes) == 1:
+            self._register_root(new_nodes[0], time)
+            return
+        new_root = IndexNode(MIN_KEY, time)
+        first, second = new_nodes
+        new_root.append(IndexEntry(MIN_KEY, time, NOW, first))
+        new_root.append(IndexEntry(second.key_low, time, NOW, second))
+        self._register_root(new_root, time)
+
+    def _register_root(self, root: Node, time: int) -> None:
+        root.key_low = MIN_KEY
+        root.key_high = None
+        if self._root_starts and self._root_starts[-1] == time:
+            # Same-version re-split of the root: replace in place.
+            self._roots[-1] = root
+        else:
+            self._root_starts.append(time)
+            self._roots.append(root)
+
+    def _check_parent(self, path: list[Node], time: int) -> None:
+        """Propagate overflow/underflow upward after child replacement."""
+        node = path[-1]
+        cfg = self.config
+        if node.count > cfg.block_capacity:
+            self._restructure(path, time)
+            return
+        if len(path) > 1 and node.live_count < cfg.weak_min:
+            self._restructure(path, time)
+            return
+        if (
+            len(path) == 1
+            and not node.is_leaf
+            and node.live_count == 1
+        ):
+            # Height shrink: the single live child becomes the live root.
+            # The old root is retired: its routing entry ends now (future
+            # queries go straight to the child) and the node itself dies,
+            # staying in the registry for historical descents only.
+            child = node.live_entries()[0].child
+            node.end_child(child, time)
+            node.death = time
+            self._register_root(child, time)
+
+    # -------------------------------------------------------------- queries
+
+    def iter_nodes(self) -> Iterator[Node]:
+        """All nodes of the forest, depth-first, each exactly once."""
+        seen: set[int] = set()
+        stack: list[Node] = list(self._roots)
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            yield node
+            if not node.is_leaf:
+                stack.extend(e.child for e in node.entries())
+
+    def leaf_nodes(self) -> Iterator[LeafNode]:
+        """All leaf nodes of the forest."""
+        return (n for n in self.iter_nodes() if n.is_leaf)
+
+    def compress(self) -> None:
+        """Delta-compress every leaf node (Section 4.2)."""
+        for leaf in self.leaf_nodes():
+            leaf.compress()
+
+    def decompress(self) -> None:
+        """Expand every leaf back to the plain entry-list backend."""
+        for leaf in self.leaf_nodes():
+            leaf.decompress()
+
+    def sizeof(self) -> int:
+        """Storage-layout size of the whole forest in bytes."""
+        return sum(node.sizeof() for node in self.iter_nodes())
+
+    # ----------------------------------------------------------------- audit
+
+    def check_invariants(self) -> None:
+        """Assert MVBT structural invariants (used by property tests)."""
+        cfg = self.config
+        roots = set(map(id, self._roots))
+        for node in self.iter_nodes():
+            # A node may gain up to two fresh routing entries from a child
+            # merge-and-key-split before its own overflow restructure kills
+            # it, so dead nodes can exceed the block capacity by two.
+            limit = cfg.block_capacity if node.is_alive else cfg.block_capacity + 2
+            assert node.count <= limit, (
+                f"block overflow left unresolved: {node!r}"
+            )
+            live = node.live_count
+            recount = len(node.live_entries())
+            assert live == recount, f"live count drifted: {node!r}"
+            if node.is_alive and id(node) not in roots:
+                assert live >= cfg.weak_min, (
+                    f"weak version condition violated: {node!r}"
+                )
+            if not node.is_leaf and node.is_alive:
+                self._check_partition(node)
+
+    def _check_partition(self, node: IndexNode) -> None:
+        """Live routing entries must partition the key region."""
+        alive = live_partition(node.entries(), self._now)
+        keys = [e.key for e in alive]
+        assert keys == sorted(set(keys)), f"routing keys collide: {node!r}"
+        for entry in alive:
+            assert entry.child.is_alive, (
+                f"live entry points to dead child: {node!r}"
+            )
+
+
+def bulk_load(
+    tree: MVBT,
+    records: Iterator[tuple[Key, int, int]] | list[tuple[Key, int, int]],
+) -> None:
+    """Load interval-encoded records ``(key, start, end)`` into ``tree``.
+
+    Each record is decomposed into an insert at ``start`` and (unless live)
+    a delete at ``end``; the event stream is replayed in time order as the
+    paper's transaction-time construction requires (Section 4.1.2).
+    """
+    events: list[tuple[int, int, Key]] = []
+    for key, start, end in records:
+        events.append((start, 0, key))
+        if end != NOW:
+            events.append((end, 1, key))
+    # Deletes before inserts at the same chronon so a key can be replaced
+    # within one chronon without tripping the duplicate check.
+    events.sort(key=lambda e: (e[0], e[1] == 0))
+    for time, kind, key in events:
+        if kind == 0:
+            tree.insert(key, time)
+        else:
+            tree.delete(key, time)

@@ -1,0 +1,15 @@
+"""Temporal aggregate indexes and the temporal histogram (paper Section 6)."""
+
+from .compressed import CIndexEntry, CLeafEntry, CMVSBT
+from .histogram import CharacteristicSets, TemporalHistogram
+from .tree import INF, MVSBT
+
+__all__ = [
+    "CIndexEntry",
+    "CLeafEntry",
+    "CMVSBT",
+    "CharacteristicSets",
+    "INF",
+    "MVSBT",
+    "TemporalHistogram",
+]

@@ -1,0 +1,260 @@
+"""The temporal histogram of RDF-TX (Sections 6.2 - 6.3).
+
+The histogram makes characteristic-set statistics *temporal*: for any time
+window it estimates (i) the number of distinct subjects of a characteristic
+set that are alive in the window and (ii) the number of occurrences of a
+predicate within those subjects.  Each statistic needs two CMVSBTs — one
+over the *start* points and one over the *end* points of the records — so the
+histogram consists of four CMVSBTs plus the characteristic-set schema.
+
+A range query over (key range, time window) reduces to four dominance
+queries (Section 6.3)::
+
+    Q(k1<k<=k2, [t1,t2)) = Qs(k2, t2-1) - Qe(k2, t1)
+                         - Qs(k1, t2-1) + Qe(k1, t1)
+
+``Qs(k, t)`` counts records with key <= k started at or before ``t``;
+``Qe(k, t)`` counts those already ended by ``t`` (live records have no end
+point and are never subtracted).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..model.graph import TemporalGraph
+from ..model.time import NOW
+from .compressed import CMVSBT
+
+
+@dataclass
+class CharacteristicSets:
+    """Characteristic sets of a temporal RDF graph (Neumann & Moerkotte).
+
+    ``SC(s) = {p | exists o, (s, p, o) in R}``, computed over the whole
+    history: semantically similar subjects share the set regardless of when
+    their facts held.
+    """
+
+    #: charset id -> frozenset of predicate ids
+    sets: list[frozenset] = field(default_factory=list)
+    #: subject id -> charset id
+    of_subject: dict = field(default_factory=dict)
+    #: predicate id -> charset ids whose set contains it
+    with_predicate: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_graph(cls, graph: TemporalGraph) -> "CharacteristicSets":
+        predicates_of: dict[int, set[int]] = defaultdict(set)
+        for triple in graph:
+            predicates_of[triple.subject].add(triple.predicate)
+        charsets = cls()
+        index: dict[frozenset, int] = {}
+        for subject, predicates in predicates_of.items():
+            key = frozenset(predicates)
+            cs_id = index.get(key)
+            if cs_id is None:
+                cs_id = len(charsets.sets)
+                index[key] = cs_id
+                charsets.sets.append(key)
+                for predicate in key:
+                    charsets.with_predicate.setdefault(predicate, []).append(
+                        cs_id
+                    )
+            charsets.of_subject[subject] = cs_id
+        return charsets
+
+    def __len__(self) -> int:
+        return len(self.sets)
+
+
+class _StatPair:
+    """A start/end CMVSBT pair answering windowed range counts."""
+
+    def __init__(self, cm: int, lm: int) -> None:
+        self.starts = CMVSBT(cm=cm, lm=lm)
+        self.ends = CMVSBT(cm=cm, lm=lm)
+        self._start_events: list[tuple[int, int, float]] = []
+        self._end_events: list[tuple[int, int, float]] = []
+
+    def add(self, key: int, start: int, end: int, weight: float = 1.0) -> None:
+        self._start_events.append((start, key, weight))
+        if end != NOW:
+            self._end_events.append((end, key, weight))
+
+    def seal(self) -> None:
+        """Insert buffered events in time order (CMVSBT requirement)."""
+        for events, tree in (
+            (self._start_events, self.starts),
+            (self._end_events, self.ends),
+        ):
+            events.sort(key=lambda e: e[0])
+            for time, key, weight in events:
+                tree.insert(key, time, weight)
+        self._start_events = []
+        self._end_events = []
+
+    def count_alive(self, k1: int, k2: int, t1: int, t2: int) -> float:
+        """Records with key in (k1, k2] whose interval intersects [t1, t2)."""
+        if t1 >= t2 or k1 >= k2:
+            return 0.0
+        upper = min(t2 - 1, 2**31)
+        started = self.starts.estimate(k2, upper) - self.starts.estimate(k1, upper)
+        ended = self.ends.estimate(k2, t1) - self.ends.estimate(k1, t1)
+        return max(started - ended, 0.0)
+
+    def sizeof(self) -> int:
+        return self.starts.sizeof() + self.ends.sizeof()
+
+
+class TemporalHistogram:
+    """Temporal statistics for the SPARQLT optimizer.
+
+    Keys: the subject pair is keyed by charset id; the occurrence pair by
+    the composite ``charset_id * stride + predicate_id``.  Non-temporal side
+    tables (predicate/object frequencies) back the estimates the
+    characteristic-set framework cannot express (O- and PO-bound patterns).
+
+    ``budget_fraction`` bounds the histogram at that fraction of the raw data
+    size; when exceeded, the CMVSBT thresholds double and the histogram is
+    rebuilt coarser (equivalent to the paper's entry merging).
+    """
+
+    def __init__(
+        self,
+        cm: int = 8,
+        lm: int = 8,
+        budget_fraction: float = 0.10,
+    ) -> None:
+        self.cm = cm
+        self.lm = lm
+        self.budget_fraction = budget_fraction
+        self.charsets = CharacteristicSets()
+        self._subjects: _StatPair | None = None
+        self._occurrences: _StatPair | None = None
+        self._stride = 1
+        self.total_triples = 0
+        self.distinct_objects_of: dict[int, int] = {}
+        self.object_frequency: dict[int, int] = {}
+        self.predicate_frequency: dict[int, int] = {}
+
+    # ---------------------------------------------------------------- build
+
+    #: How many times the thresholds may double chasing the space budget.
+    MAX_COARSENING_ROUNDS = 6
+
+    def build(self, graph: TemporalGraph) -> None:
+        """(Re)build the histogram from a temporal graph.
+
+        The thresholds double (coarsening the histogram) until the space
+        budget is met or :data:`MAX_COARSENING_ROUNDS` is exhausted — the
+        schema and side tables put a floor under the size that small graphs
+        cannot compress away.
+        """
+        raw = graph.raw_size()
+        for _ in range(self.MAX_COARSENING_ROUNDS):
+            self._build_once(graph)
+            if raw == 0 or self.core_sizeof() <= self.budget_fraction * raw:
+                return
+            self.cm *= 2
+            self.lm *= 2
+        self._build_once(graph)
+
+    def _build_once(self, graph: TemporalGraph) -> None:
+        self.charsets = CharacteristicSets.from_graph(graph)
+        max_pred = max(
+            (t.predicate for t in graph), default=0
+        )
+        self._stride = max_pred + 2
+        self._subjects = _StatPair(self.cm, self.lm)
+        self._occurrences = _StatPair(self.cm, self.lm)
+        self.total_triples = len(graph)
+
+        lifetime: dict[int, list[int]] = {}
+        objects_of: dict[int, set[int]] = defaultdict(set)
+        self.object_frequency = defaultdict(int)
+        self.predicate_frequency = defaultdict(int)
+        for triple in graph:
+            span = lifetime.get(triple.subject)
+            if span is None:
+                lifetime[triple.subject] = [triple.period.start, triple.period.end]
+            else:
+                span[0] = min(span[0], triple.period.start)
+                span[1] = max(span[1], triple.period.end)
+            charset_id = self.charsets.of_subject[triple.subject]
+            self._occurrences.add(
+                self._occ_key(charset_id, triple.predicate),
+                triple.period.start,
+                triple.period.end,
+            )
+            objects_of[triple.predicate].add(triple.object)
+            self.object_frequency[triple.object] += 1
+            self.predicate_frequency[triple.predicate] += 1
+        for subject, (start, end) in lifetime.items():
+            self._subjects.add(self.charsets.of_subject[subject], start, end)
+        self._subjects.seal()
+        self._occurrences.seal()
+        self.distinct_objects_of = {
+            pred: len(objs) for pred, objs in objects_of.items()
+        }
+
+    def _occ_key(self, charset_id: int, predicate_id: int) -> int:
+        return charset_id * self._stride + predicate_id
+
+    # ------------------------------------------------------------- estimate
+
+    def subjects_alive(self, charset_id: int, t1: int, t2: int) -> float:
+        """Estimated distinct subjects of a charset alive in [t1, t2)."""
+        if self._subjects is None:
+            return 0.0
+        return self._subjects.count_alive(charset_id - 1, charset_id, t1, t2)
+
+    def occurrences(
+        self, charset_id: int, predicate_id: int, t1: int, t2: int
+    ) -> float:
+        """Estimated occurrences of a predicate within a charset's subjects
+        alive in [t1, t2)."""
+        if self._occurrences is None:
+            return 0.0
+        key = self._occ_key(charset_id, predicate_id)
+        return self._occurrences.count_alive(key - 1, key, t1, t2)
+
+    def predicate_occurrences(
+        self, predicate_id: int, t1: int, t2: int
+    ) -> float:
+        """Estimated occurrences of a predicate (all charsets) in a window."""
+        total = 0.0
+        for charset_id in self.charsets.with_predicate.get(predicate_id, ()):
+            total += self.occurrences(charset_id, predicate_id, t1, t2)
+        return total
+
+    def triples_alive(self, t1: int, t2: int) -> float:
+        """Estimated total triples alive in a window (full-scan estimate)."""
+        if self._occurrences is None:
+            return 0.0
+        top = (len(self.charsets.sets) + 1) * self._stride
+        return self._occurrences.count_alive(-1, top, t1, t2)
+
+    # ----------------------------------------------------------------- size
+
+    def core_sizeof(self) -> int:
+        """Size of the paper's temporal histogram proper: the four CMVSBTs
+        plus the characteristic-set schema.  This is what the space budget
+        governs (Section 6.2.2)."""
+        total = 0
+        if self._subjects is not None:
+            total += self._subjects.sizeof()
+        if self._occurrences is not None:
+            total += self._occurrences.sizeof()
+        total += 16 * sum(len(s) for s in self.charsets.sets)
+        return total
+
+    def sizeof(self) -> int:
+        """Full footprint, including the non-temporal side tables that back
+        the O/PO-pattern estimates."""
+        return self.core_sizeof() + 16 * (
+            len(self.distinct_objects_of)
+            + len(self.object_frequency)
+            + len(self.predicate_frequency)
+        )

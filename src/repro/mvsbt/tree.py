@@ -1,0 +1,287 @@
+"""MVSBT: the Multiversion SB-Tree temporal aggregate index (Section 6.2.1).
+
+An MVSBT answers *dominance-sum* queries: given ``(k, t)``, the aggregate of
+all data points with key <= k and timestamp <= t.  Every entry corresponds to
+a rectangle in key-time space; the rectangles of one node are mutually
+disjoint and cover the node's region.  A query walks root to leaf summing the
+value of the containing entry at each level.
+
+Insertion of a point ``p = (k, t, w)`` touches only the root-to-leaf path of
+nodes whose rectangle contains ``p``:
+
+* entries *fully covered* in the key dimension (``ks >= k``) and alive at
+  ``t`` are split vertically at ``t`` — the upper part's value grows by ``w``
+  (every query point in it dominates ``p``);
+* the single *partly covered* entry containing ``p`` recurses into its child
+  (index node) or is split into three (leaf node), exactly as in Figure 5.
+
+Points must arrive in nondecreasing time order (transaction-time history).
+
+Node overflow triggers a key split at an entry boundary; leaf entries that
+straddle the boundary are cut in two (value preserved on both sides, which
+keeps dominance sums exact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+#: Upper extremum of the key and time dimensions.
+INF = float("inf")
+
+
+@dataclass
+class AggEntry:
+    """A leaf rectangle ``[ks, ke) x [ts, te)`` with aggregate value ``v``."""
+
+    ks: float
+    ke: float
+    ts: float
+    te: float
+    v: float = 0.0
+
+    def covers(self, k: float, t: float) -> bool:
+        return self.ks <= k < self.ke and self.ts <= t < self.te
+
+
+@dataclass
+class AggIndexEntry:
+    """An index rectangle with a child pointer.
+
+    Vertical splits create several index entries over the same child; the
+    child is descended through whichever entry contains the query point.
+    """
+
+    ks: float
+    ke: float
+    ts: float
+    te: float
+    child: "_AggNode"
+    v: float = 0.0
+
+    def covers(self, k: float, t: float) -> bool:
+        return self.ks <= k < self.ke and self.ts <= t < self.te
+
+
+@dataclass
+class _AggNode:
+    is_leaf: bool
+    entries: list = field(default_factory=list)
+
+
+class MVSBT:
+    """An exact dominance-sum index over integer keys and chronons.
+
+    ``query(k, t)`` returns the sum of weights of points ``(k0, t0)`` with
+    ``k0 <= k`` and ``t0 <= t``.
+    """
+
+    def __init__(self, node_capacity: int = 32) -> None:
+        if node_capacity < 4:
+            raise ValueError("node capacity must be at least 4")
+        self._capacity = node_capacity
+        self._root = _AggNode(is_leaf=True)
+        self._root.entries.append(AggEntry(0, INF, 0, INF, 0.0))
+        self._last_time = 0
+        self._count = 0
+
+    @property
+    def point_count(self) -> int:
+        return self._count
+
+    # --------------------------------------------------------------- insert
+
+    def insert(self, key: int, time: int, weight: float = 1.0) -> None:
+        """Insert a point; time must be nondecreasing across inserts."""
+        if key < 0 or time < 0:
+            raise ValueError("keys and times must be non-negative")
+        if time < self._last_time:
+            raise ValueError(
+                f"point at {time} after watermark {self._last_time}"
+            )
+        self._last_time = time
+        self._count += 1
+        path: list[_AggNode] = []
+        node = self._root
+        while True:
+            path.append(node)
+            child = self._insert_into_node(node, key, time, weight)
+            if child is None:
+                break
+            node = child
+        # Handle overflow bottom-up.
+        for depth in range(len(path) - 1, -1, -1):
+            overflowing = path[depth]
+            if len(overflowing.entries) <= self._capacity:
+                continue
+            parent = path[depth - 1] if depth > 0 else None
+            self._split_node(overflowing, parent)
+
+    def _insert_into_node(
+        self, node: _AggNode, key: int, time: int, weight: float
+    ) -> "_AggNode | None":
+        """Apply vertical / three-way splits in ``node``; return the child to
+        descend into (None at a leaf)."""
+        descend: _AggNode | None = None
+        fresh: list = []
+        for entry in node.entries:
+            if entry.ke <= key or entry.te <= time:
+                continue
+            if entry.ks >= key:
+                # Fully covered: vertical split at `time`.
+                fresh.extend(self._vertical_split(entry, time, weight))
+            elif entry.covers(key, time):
+                # The partly covered entry containing the point.
+                if node.is_leaf:
+                    fresh.extend(self._three_way_split(entry, key, time, weight))
+                else:
+                    descend = entry.child
+        node.entries.extend(fresh)
+        return descend
+
+    @staticmethod
+    def _vertical_split(entry, time: int, weight: float) -> list:
+        """Split ``entry`` at ``time``; the upper part gains ``weight``."""
+        if entry.ts == time:
+            entry.v += weight
+            return []
+        upper_args = dict(ks=entry.ks, ke=entry.ke, ts=time, te=entry.te,
+                          v=entry.v + weight)
+        if isinstance(entry, AggIndexEntry):
+            upper = AggIndexEntry(child=entry.child, **upper_args)
+        else:
+            upper = AggEntry(**upper_args)
+        entry.te = time
+        return [upper]
+
+    @staticmethod
+    def _three_way_split(
+        entry: AggEntry, key: int, time: int, weight: float
+    ) -> list[AggEntry]:
+        """Figure 5: split a partly covered leaf entry at point ``(k, t)``."""
+        fresh = [
+            AggEntry(key, entry.ke, time, entry.te, entry.v + weight),
+        ]
+        if entry.ts < time:
+            fresh.append(AggEntry(key, entry.ke, entry.ts, time, entry.v))
+        # The original shrinks to the portion left of the key.
+        entry.ke = key
+        return fresh
+
+    # ------------------------------------------------------------ structure
+
+    def _split_node(self, node: _AggNode, parent: "_AggNode | None") -> None:
+        boundary = self._split_boundary(node)
+        if boundary is None:
+            return  # Degenerate: all entries share one key range.
+        left = _AggNode(is_leaf=node.is_leaf)
+        right = _AggNode(is_leaf=node.is_leaf)
+        for entry in node.entries:
+            if entry.ke <= boundary:
+                left.entries.append(entry)
+            elif entry.ks >= boundary:
+                right.entries.append(entry)
+            else:
+                # Cut a straddling leaf rectangle; both halves keep v, which
+                # preserves the containing-entry sum for every query point.
+                assert node.is_leaf, "index entries never straddle"
+                tail = AggEntry(boundary, entry.ke, entry.ts, entry.te, entry.v)
+                entry.ke = boundary
+                left.entries.append(entry)
+                right.entries.append(tail)
+        key_low = min(e.ks for e in node.entries)
+        key_high = max(e.ke for e in node.entries)
+        left_entry = AggIndexEntry(key_low, boundary, 0, INF, left)
+        right_entry = AggIndexEntry(boundary, key_high, 0, INF, right)
+        if parent is None:
+            new_root = _AggNode(is_leaf=False)
+            new_root.entries = [left_entry, right_entry]
+            self._root = new_root
+            return
+        # Replace the parent's index entries for `node` with ones for the
+        # two halves, preserving each entry's time range and value.
+        replacement: list = []
+        for entry in parent.entries:
+            if isinstance(entry, AggIndexEntry) and entry.child is node:
+                for half, (lo, hi) in (
+                    (left, (entry.ks, boundary)),
+                    (right, (boundary, entry.ke)),
+                ):
+                    replacement.append(
+                        AggIndexEntry(lo, hi, entry.ts, entry.te, half, entry.v)
+                    )
+            else:
+                replacement.append(entry)
+        parent.entries = replacement
+
+    def _split_boundary(self, node: _AggNode) -> float | None:
+        """A key boundary that balances the node's entries."""
+        if node.is_leaf:
+            boundaries = sorted(
+                {e.ks for e in node.entries} | {e.ke for e in node.entries}
+            )
+        else:
+            # Children partition the key space at clean boundaries.
+            boundaries = sorted({e.ks for e in node.entries})
+        inner = [b for b in boundaries[1:-1] if b != INF]
+        if not inner:
+            return None
+        return inner[len(inner) // 2]
+
+    # ---------------------------------------------------------------- query
+
+    def query(self, key: int, time: int) -> float:
+        """Dominance sum: total weight of points with key<=k and time<=t."""
+        if key < 0 or time < 0:
+            return 0.0
+        total = 0.0
+        node = self._root
+        while True:
+            containing = None
+            for entry in node.entries:
+                if entry.covers(key, time):
+                    containing = entry
+                    break
+            if containing is None:
+                return total
+            total += containing.v
+            if node.is_leaf:
+                return total
+            node = containing.child
+
+    # ---------------------------------------------------------------- audit
+
+    def iter_nodes(self) -> Iterator[_AggNode]:
+        # Vertical splits create several index entries sharing one child, so
+        # deduplicate by identity.
+        stack = [self._root]
+        seen = {id(self._root)}
+        while stack:
+            node = stack.pop()
+            yield node
+            if node.is_leaf:
+                continue
+            for entry in node.entries:
+                if (
+                    isinstance(entry, AggIndexEntry)
+                    and id(entry.child) not in seen
+                ):
+                    seen.add(id(entry.child))
+                    stack.append(entry.child)
+
+    def entry_count(self) -> int:
+        """Total entries across all nodes (storage proxy)."""
+        return sum(len(n.entries) for n in self.iter_nodes())
+
+    def check_invariants(self) -> None:
+        """Rectangles within each node must be disjoint."""
+        for node in self.iter_nodes():
+            entries = node.entries
+            for i, a in enumerate(entries):
+                for b in entries[i + 1 :]:
+                    overlap_k = a.ks < b.ke and b.ks < a.ke
+                    overlap_t = a.ts < b.te and b.ts < a.te
+                    assert not (overlap_k and overlap_t), (
+                        f"overlapping rectangles: {a} / {b}"
+                    )

@@ -1,0 +1,17 @@
+"""Query optimizer: temporal statistics, cost model, DP join ordering."""
+
+from .cost import SubPlan, join_cardinality, join_step_cost, pattern_estimates
+from .dp import Optimizer, enumerate_orders, estimate_order_cost, optimize
+from .statistics import Statistics
+
+__all__ = [
+    "Optimizer",
+    "Statistics",
+    "SubPlan",
+    "enumerate_orders",
+    "estimate_order_cost",
+    "join_cardinality",
+    "join_step_cost",
+    "optimize",
+    "pattern_estimates",
+]

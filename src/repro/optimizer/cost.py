@@ -1,0 +1,89 @@
+"""Cost model for SPARQLT join ordering (Section 6.1).
+
+The cost of a plan is driven by the cardinalities of its patterns and
+intermediate results: every join step costs its two input cardinalities (the
+scan / probe work) plus the output cardinality (materialization), and the
+output feeds the next step.  Join output cardinality uses:
+
+* the characteristic-set star formula when the join is a subject star over
+  constant predicates (highly accurate, Section 6.1),
+* the classic independence fallback ``|A| * |B| / max(|A|, |B|)`` otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.plan import PlanGraph
+from ..sparqlt.ast import TermConst, Var
+from .statistics import Statistics
+
+
+@dataclass(frozen=True)
+class SubPlan:
+    """An optimizer state: a set of joined patterns with estimates."""
+
+    patterns: frozenset
+    cardinality: float
+    cost: float
+
+
+def pattern_estimates(graph: PlanGraph, stats: Statistics) -> list[float]:
+    """Estimate (and annotate) the cardinality of each pattern."""
+    estimates = []
+    for plan in graph.patterns:
+        estimate = stats.pattern_cardinality(plan)
+        plan.estimate = estimate
+        estimates.append(estimate)
+    return estimates
+
+
+def join_cardinality(
+    graph: PlanGraph,
+    stats: Statistics,
+    left: SubPlan,
+    right: SubPlan,
+) -> float:
+    """Estimated output cardinality of joining two subplans."""
+    combined = left.patterns | right.patterns
+    star = _subject_star(graph, stats, combined)
+    if star is not None:
+        return star
+    independent = left.cardinality * right.cardinality
+    damping = max(left.cardinality, right.cardinality, 1.0)
+    return max(independent / damping, 0.01)
+
+
+def _subject_star(
+    graph: PlanGraph, stats: Statistics, patterns: frozenset
+) -> float | None:
+    """The characteristic-set estimate when ``patterns`` form a star:
+    a shared variable subject and constant predicates."""
+    subjects = set()
+    predicate_ids = []
+    windows = []
+    for index in patterns:
+        plan = graph.patterns[index]
+        pattern = plan.pattern
+        if not isinstance(pattern.subject, Var):
+            return None
+        if not isinstance(pattern.predicate, TermConst):
+            return None
+        subjects.add(pattern.subject.name)
+        pid = stats.dictionary.lookup(pattern.predicate.value)
+        if pid is None:
+            return 0.0
+        predicate_ids.append(pid)
+        windows.append(plan.time_range)
+    if len(subjects) != 1:
+        return None
+    t1 = max(w.start for w in windows)
+    t2 = min(w.end for w in windows)
+    if t1 >= t2:
+        return 0.0
+    return stats.star_join_cardinality(predicate_ids, t1, t2)
+
+
+def join_step_cost(left: SubPlan, right: SubPlan, output: float) -> float:
+    """Cost of one hash-join step: read both inputs, write the output."""
+    return left.cardinality + right.cardinality + output

@@ -1,0 +1,58 @@
+"""SPARQLT: the temporal extension of SPARQL (paper Section 3)."""
+
+from .ast import (
+    And,
+    Compare,
+    Expr,
+    FuncCall,
+    Literal,
+    Not,
+    Or,
+    QuadPattern,
+    Query,
+    TermConst,
+    TimeConst,
+    Var,
+    conjuncts,
+    expr_variables,
+)
+from .errors import EvaluationError, LexError, ParseError, SparqltError
+from .functions import (
+    evaluate,
+    eval_value,
+    pushdown_window,
+    restrict,
+    restriction_target,
+)
+from .lexer import Token, tokenize
+from .parser import parse, parse_expression
+
+__all__ = [
+    "And",
+    "Compare",
+    "EvaluationError",
+    "Expr",
+    "FuncCall",
+    "LexError",
+    "Literal",
+    "Not",
+    "Or",
+    "ParseError",
+    "QuadPattern",
+    "Query",
+    "SparqltError",
+    "TermConst",
+    "TimeConst",
+    "Token",
+    "Var",
+    "conjuncts",
+    "eval_value",
+    "evaluate",
+    "expr_variables",
+    "parse",
+    "parse_expression",
+    "pushdown_window",
+    "restrict",
+    "restriction_target",
+    "tokenize",
+]

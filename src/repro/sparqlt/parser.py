@@ -1,0 +1,256 @@
+"""Recursive-descent parser for SPARQLT (Section 3.1).
+
+Grammar (simplified EBNF)::
+
+    query      := SELECT var+ WHERE? '{' clause+ '}'
+    clause     := pattern '.'? | FILTER '(' expr ')' '.'?
+    pattern    := term term term timeterm
+    term       := VAR | IDENT | STRING | NUMBER
+    timeterm   := VAR | date
+    expr       := orexpr
+    orexpr     := andexpr ('||' andexpr)*
+    andexpr    := unary ('&&' unary)*
+    unary      := '!' unary | primary (CMP primary)?
+    primary    := FUNC '(' expr ')' | VAR | literal | '(' expr ')'
+    literal    := STRING | NUMBER unit? | date
+    unit       := DAY | MONTH | YEAR
+
+Date literals may be ISO (``2013-01-01``) or US (``01/01/2013``).  Durations
+are normalized to days (MONTH = 30, YEAR = 365, as documented for the
+``LENGTH`` comparisons of Example 3).
+"""
+
+from __future__ import annotations
+
+from ..model.time import date_to_chronon
+from .ast import (
+    And,
+    GroupGraphPattern,
+    Compare,
+    Expr,
+    FuncCall,
+    Literal,
+    Not,
+    Or,
+    QuadPattern,
+    Query,
+    TermConst,
+    TimeConst,
+    Var,
+)
+from .errors import ParseError
+from .lexer import Token, UNITS, tokenize
+
+_UNIT_DAYS = {"DAY": 1, "MONTH": 30, "YEAR": 365}
+
+_COMPARE_OPS = {"=", "!=", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self._current
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text or kind
+            raise ParseError(
+                f"expected {want}, found {token.text!r} at offset "
+                f"{token.position}"
+            )
+        return self._advance()
+
+    def _accept(self, kind: str, text: str | None = None) -> Token | None:
+        token = self._current
+        if token.kind == kind and (text is None or token.text == text):
+            return self._advance()
+        return None
+
+    # -------------------------------------------------------------- grammar
+
+    def parse_query(self) -> Query:
+        self._expect("KEYWORD", "SELECT")
+        select = []
+        while self._current.kind == "VAR":
+            select.append(self._advance().text[1:])
+        if not select:
+            raise ParseError("SELECT needs at least one variable")
+        self._accept("KEYWORD", "WHERE")
+        self._expect("PUNCT", "{")
+        group = self._parse_group()
+        if not (group.patterns or group.unions):
+            raise ParseError("a query needs at least one graph pattern")
+        self._expect("EOF")
+        return Query(
+            select=select,
+            patterns=group.patterns,
+            filters=group.filters,
+            group=group,
+        )
+
+    def _parse_group(self) -> GroupGraphPattern:
+        """Parse group elements until the closing '}' (already consumed)."""
+        group = GroupGraphPattern()
+        while not self._accept("PUNCT", "}"):
+            if self._current.kind == "EOF":
+                raise ParseError("unterminated group: missing '}'")
+            if self._accept("KEYWORD", "FILTER"):
+                self._expect("PUNCT", "(")
+                group.filters.append(self.parse_expr())
+                self._expect("PUNCT", ")")
+            elif self._accept("KEYWORD", "OPTIONAL"):
+                self._expect("PUNCT", "{")
+                group.optionals.append(self._parse_group())
+            elif self._accept("PUNCT", "{"):
+                # { A } UNION { B } [UNION { C } ...]; a lone braced group
+                # is a nested group, which joins like a one-branch union.
+                branches = [self._parse_group()]
+                while self._accept("KEYWORD", "UNION"):
+                    self._expect("PUNCT", "{")
+                    branches.append(self._parse_group())
+                group.unions.append(branches)
+            else:
+                group.patterns.append(self._parse_pattern())
+            self._accept("PUNCT", ".")
+        return group
+
+    def _parse_pattern(self) -> QuadPattern:
+        subject = self._parse_term()
+        predicate = self._parse_term()
+        object_ = self._parse_term()
+        time = self._parse_time_term()
+        return QuadPattern(subject, predicate, object_, time)
+
+    def _parse_term(self):
+        token = self._current
+        if token.kind == "VAR":
+            self._advance()
+            return Var(token.text[1:])
+        if token.kind == "IDENT" or token.kind == "FUNC":
+            self._advance()
+            return TermConst(token.text)
+        if token.kind == "STRING":
+            self._advance()
+            return TermConst(_unquote(token.text))
+        if token.kind == "NUMBER":
+            self._advance()
+            return TermConst(token.text)
+        raise ParseError(
+            f"expected a term, found {token.text!r} at offset {token.position}"
+        )
+
+    def _parse_time_term(self):
+        token = self._current
+        if token.kind == "VAR":
+            self._advance()
+            return Var(token.text[1:])
+        if token.kind in ("DATE_ISO", "DATE_US"):
+            self._advance()
+            return TimeConst(date_to_chronon(token.text))
+        raise ParseError(
+            "the temporal position needs a variable or a date, found "
+            f"{token.text!r} at offset {token.position}"
+        )
+
+    # ---------------------------------------------------------- expressions
+
+    def parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._accept("OP", "||"):
+            left = Or(left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_unary()
+        while self._accept("OP", "&&"):
+            left = And(left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Expr:
+        if self._accept("OP", "!"):
+            return Not(self._parse_unary())
+        left = self._parse_primary()
+        token = self._current
+        if token.kind == "OP" and token.text in _COMPARE_OPS:
+            self._advance()
+            right = self._parse_primary()
+            return Compare(token.text, left, right)
+        return left
+
+    def _parse_primary(self) -> Expr:
+        token = self._current
+        if token.kind == "FUNC":
+            self._advance()
+            self._expect("PUNCT", "(")
+            arg = self.parse_expr()
+            self._expect("PUNCT", ")")
+            return FuncCall(token.text, arg)
+        if token.kind == "VAR":
+            self._advance()
+            return Var(token.text[1:])
+        if token.kind == "STRING":
+            self._advance()
+            return Literal(_unquote(token.text), "string")
+        if token.kind in ("DATE_ISO", "DATE_US"):
+            self._advance()
+            return Literal(date_to_chronon(token.text), "date")
+        if token.kind == "NUMBER":
+            self._advance()
+            value = float(token.text) if "." in token.text else int(token.text)
+            unit = self._accept_unit()
+            if unit is not None:
+                return Literal(int(value) * _UNIT_DAYS[unit], "duration")
+            return Literal(value, "number")
+        if token.kind == "IDENT":
+            self._advance()
+            return Literal(token.text, "string")
+        if self._accept("PUNCT", "("):
+            inner = self.parse_expr()
+            self._expect("PUNCT", ")")
+            return inner
+        raise ParseError(
+            f"expected an expression, found {token.text!r} at offset "
+            f"{token.position}"
+        )
+
+    def _accept_unit(self) -> str | None:
+        token = self._current
+        if token.kind == "FUNC" and token.text in UNITS:
+            # Disambiguate unit vs function: a unit is not followed by '('.
+            next_token = self._tokens[self._pos + 1]
+            if not (next_token.kind == "PUNCT" and next_token.text == "("):
+                self._advance()
+                return token.text
+        return None
+
+
+def _unquote(text: str) -> str:
+    return text[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+
+
+def parse(text: str) -> Query:
+    """Parse SPARQLT query text into a :class:`~repro.sparqlt.ast.Query`."""
+    return _Parser(tokenize(text)).parse_query()
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a standalone filter expression (useful in tests and tools)."""
+    parser = _Parser(tokenize(text))
+    expr = parser.parse_expr()
+    parser._expect("EOF")
+    return expr

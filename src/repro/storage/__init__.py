@@ -1,0 +1,5 @@
+"""Storage substrates: classic B+ tree used by baselines and time indexes."""
+
+from .bptree import BPlusTree
+
+__all__ = ["BPlusTree"]

@@ -1,0 +1,203 @@
+"""A classic in-memory B+ tree.
+
+This is the substrate for the RDBMS baseline (the paper compares against the
+MySQL memory engine, whose in-memory tables are indexed with B+ trees) and for
+the start/end-time secondary indexes.  Keys are arbitrary comparable values
+(typically tuples of dictionary ids); duplicate keys are supported by keeping
+a list of values per key.
+"""
+
+from __future__ import annotations
+
+import bisect
+import sys
+from typing import Any, Callable, Iterator
+
+__all__ = ["BPlusTree"]
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.keys: list[Any] = []
+        # Internal nodes use ``children``; leaves use ``values`` and ``next``.
+        self.children: list[_Node] | None = None if is_leaf else []
+        self.values: list[list[Any]] | None = [] if is_leaf else None
+        self.next: _Node | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.values is not None
+
+
+class BPlusTree:
+    """An order-``branching`` B+ tree mapping keys to lists of values."""
+
+    def __init__(self, branching: int = 32) -> None:
+        if branching < 4:
+            raise ValueError("branching factor must be at least 4")
+        self._branching = branching
+        self._root: _Node = _Node(is_leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ---------------------------------------------------------------- insert
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert ``value`` under ``key`` (duplicates allowed)."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            sep, right = split
+            new_root = _Node(is_leaf=False)
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+        self._size += 1
+
+    def _insert(self, node: _Node, key: Any, value: Any):
+        if node.is_leaf:
+            idx = bisect.bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                node.values[idx].append(value)
+            else:
+                node.keys.insert(idx, key)
+                node.values.insert(idx, [value])
+            if len(node.keys) > self._branching:
+                return self._split_leaf(node)
+            return None
+        idx = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[idx], key, value)
+        if split is not None:
+            sep, right = split
+            node.keys.insert(idx, sep)
+            node.children.insert(idx + 1, right)
+            if len(node.children) > self._branching:
+                return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Node):
+        mid = len(node.keys) // 2
+        right = _Node(is_leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next = node.next
+        node.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node):
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Node(is_leaf=False)
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep, right
+
+    # ---------------------------------------------------------------- delete
+
+    def remove(self, key: Any, value: Any) -> bool:
+        """Remove one occurrence of ``value`` under ``key``.
+
+        Returns ``True`` when found.  Underflowed leaves are tolerated (this
+        keeps the structure simple; lookups stay correct and the tree is
+        rebuilt on bulk reloads), matching how the memory-engine baseline is
+        exercised by the paper's update workload.
+        """
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx >= len(leaf.keys) or leaf.keys[idx] != key:
+            return False
+        try:
+            leaf.values[idx].remove(value)
+        except ValueError:
+            return False
+        if not leaf.values[idx]:
+            leaf.keys.pop(idx)
+            leaf.values.pop(idx)
+        self._size -= 1
+        return True
+
+    # ---------------------------------------------------------------- search
+
+    def _find_leaf(self, key: Any) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            node = node.children[idx]
+        return node
+
+    def get(self, key: Any) -> list[Any]:
+        """All values stored under exactly ``key``."""
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return list(leaf.values[idx])
+        return []
+
+    def range(self, low: Any, high: Any) -> Iterator[tuple[Any, Any]]:
+        """Iterate ``(key, value)`` pairs with ``low <= key < high``."""
+        leaf = self._find_leaf(low)
+        while leaf is not None:
+            for idx, key in enumerate(leaf.keys):
+                if key < low:
+                    continue
+                if key >= high:
+                    return
+                for value in leaf.values[idx]:
+                    yield key, value
+            leaf = leaf.next
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """Iterate all ``(key, value)`` pairs in key order."""
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        while node is not None:
+            for key, values in zip(node.keys, node.values):
+                for value in values:
+                    yield key, value
+            node = node.next
+
+    # ----------------------------------------------------------------- audit
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants (used by property tests)."""
+        keys = [k for k, _ in self.items()]
+        assert keys == sorted(keys), "leaf chain out of order"
+        self._check_node(self._root, None, None, is_root=True)
+
+    def _check_node(self, node: _Node, low, high, is_root: bool = False):
+        for key in node.keys:
+            assert low is None or key >= low
+            assert high is None or key < high
+        if node.is_leaf:
+            return
+        assert len(node.children) == len(node.keys) + 1
+        if not is_root:
+            assert len(node.children) >= 2
+        bounds = [low, *node.keys, high]
+        for child, (lo, hi) in zip(node.children, zip(bounds, bounds[1:])):
+            self._check_node(child, lo, hi)
+
+    def sizeof(self) -> int:
+        """Approximate in-memory footprint in bytes (for Figure 8)."""
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            total += sys.getsizeof(node.keys)
+            total += sum(sys.getsizeof(k) for k in node.keys)
+            if node.is_leaf:
+                total += sys.getsizeof(node.values)
+                total += sum(sys.getsizeof(v) for v in node.values)
+                total += sum(8 * len(v) for v in node.values)
+            else:
+                total += sys.getsizeof(node.children)
+                stack.extend(node.children)
+        return total

@@ -1,0 +1,122 @@
+"""Tests for the classic B+ tree substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import BPlusTree
+
+
+class TestBasics:
+    def test_rejects_tiny_branching(self):
+        with pytest.raises(ValueError):
+            BPlusTree(branching=2)
+
+    def test_empty(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.get(5) == []
+        assert list(tree.items()) == []
+
+    def test_insert_get(self):
+        tree = BPlusTree(branching=4)
+        tree.insert(3, "a")
+        tree.insert(1, "b")
+        tree.insert(2, "c")
+        assert tree.get(1) == ["b"]
+        assert len(tree) == 3
+
+    def test_duplicates(self):
+        tree = BPlusTree(branching=4)
+        tree.insert(7, "x")
+        tree.insert(7, "y")
+        assert sorted(tree.get(7)) == ["x", "y"]
+
+    def test_range_is_half_open(self):
+        tree = BPlusTree(branching=4)
+        for i in range(20):
+            tree.insert(i, i * 10)
+        got = [k for k, _ in tree.range(5, 10)]
+        assert got == [5, 6, 7, 8, 9]
+
+    def test_items_sorted(self):
+        tree = BPlusTree(branching=4)
+        import random
+
+        rng = random.Random(7)
+        keys = list(range(200))
+        rng.shuffle(keys)
+        for k in keys:
+            tree.insert(k, k)
+        assert [k for k, _ in tree.items()] == list(range(200))
+        tree.check_invariants()
+
+    def test_remove(self):
+        tree = BPlusTree(branching=4)
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        assert tree.remove(5, "a")
+        assert tree.get(5) == ["b"]
+        assert not tree.remove(5, "zzz")
+        assert not tree.remove(99, "a")
+        assert len(tree) == 1
+
+    def test_tuple_keys(self):
+        tree = BPlusTree(branching=4)
+        tree.insert((1, 2, 3), "t")
+        tree.insert((1, 2), "p")
+        got = [v for _, v in tree.range((1, 2), (1, 2, 4))]
+        assert got == ["p", "t"]
+
+    def test_sizeof_grows(self):
+        tree = BPlusTree(branching=8)
+        empty = tree.sizeof()
+        for i in range(500):
+            tree.insert(i, i)
+        assert tree.sizeof() > empty
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 100), st.sampled_from("abc")),
+        max_size=300,
+    )
+)
+def test_matches_reference_dict(pairs):
+    """The tree behaves exactly like a sorted multimap."""
+    tree = BPlusTree(branching=5)
+    reference: dict[int, list[str]] = {}
+    for key, value in pairs:
+        tree.insert(key, value)
+        reference.setdefault(key, []).append(value)
+    tree.check_invariants()
+    expected = [
+        (k, v) for k in sorted(reference) for v in reference[k]
+    ]
+    assert list(tree.items()) == expected
+    assert sorted(tree.get(50)) == sorted(reference.get(50, []))
+    expected_range = [(k, v) for k, v in expected if 20 <= k < 60]
+    assert list(tree.range(20, 60)) == expected_range
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(0, 50), min_size=1, max_size=200),
+    st.lists(st.integers(0, 50), max_size=100),
+)
+def test_insert_then_remove(inserted, removed):
+    tree = BPlusTree(branching=5)
+    reference: dict[int, int] = {}
+    for key in inserted:
+        tree.insert(key, key)
+        reference[key] = reference.get(key, 0) + 1
+    for key in removed:
+        expected = reference.get(key, 0) > 0
+        assert tree.remove(key, key) == expected
+        if expected:
+            reference[key] -= 1
+    expected_items = [
+        (k, k) for k in sorted(reference) for _ in range(reference[k])
+    ]
+    assert list(tree.items()) == expected_items

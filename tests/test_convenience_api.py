@@ -1,0 +1,113 @@
+"""Tests for the by-example convenience API (demo-paper access patterns)
+and the NG4J baseline from the technical report."""
+
+import pytest
+
+from repro.baselines import NamedGraphBaseline, Ng4jBaseline
+from repro.engine import RDFTX
+from repro.model import NOW, Period, PeriodSet, TemporalGraph, date_to_chronon
+
+D = date_to_chronon
+
+
+@pytest.fixture(scope="module")
+def engine():
+    g = TemporalGraph()
+    g.add("UC", "president", "Yudof", D("2008-06-16"), D("2013-09-30"))
+    g.add("UC", "president", "Napolitano", D("2013-09-30"))
+    g.add("UC", "budget", "22.7", D("2013-01-30"), D("2015-01-30"))
+    g.add("UC", "budget", "25.46", D("2015-01-30"))
+    return RDFTX.from_graph(g)
+
+
+class TestWhen:
+    def test_when_finds_validity(self, engine):
+        ps = engine.when("UC", "president", "Yudof")
+        assert ps == PeriodSet(
+            [Period(D("2008-06-16"), D("2013-09-30"))]
+        )
+
+    def test_when_unknown_fact(self, engine):
+        assert engine.when("UC", "president", "Nobody").is_empty
+        assert engine.when("MIT", "president", "Yudof").is_empty
+
+
+class TestSnapshot:
+    def test_snapshot_returns_infobox(self, engine):
+        box = engine.snapshot("UC", D("2014-01-01"))
+        assert box == {
+            "president": ["Napolitano"],
+            "budget": ["22.7"],
+        }
+
+    def test_snapshot_before_history(self, engine):
+        assert engine.snapshot("UC", D("2000-01-01")) == {}
+
+
+class TestHistory:
+    def test_full_history_sorted(self, engine):
+        rows = engine.history("UC")
+        predicates = [r[0] for r in rows]
+        assert predicates == sorted(predicates)
+        assert len(rows) == 4
+
+    def test_predicate_history(self, engine):
+        rows = engine.history("UC", "president")
+        assert [r[1] for r in rows] == ["Yudof", "Napolitano"]
+        assert rows[0][2].last() + 1 == rows[1][2].first()
+
+    def test_history_unknown_subject(self, engine):
+        assert engine.history("MIT") == []
+
+
+class TestNg4j:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        from repro.datasets import wikipedia
+
+        return wikipedia.generate(1200, seed=4).graph
+
+    def test_agrees_with_jena_ng(self, graph):
+        jena = NamedGraphBaseline.from_graph(graph)
+        ng4j = Ng4jBaseline.from_graph(graph)
+        for text in (
+            "SELECT ?s ?o {?s club ?o ?t . FILTER(YEAR(?t) = 2010)}",
+            "SELECT ?s {?s population ?o 2011-06-01}",
+        ):
+            assert sorted(map(repr, ng4j.query(text))) == sorted(
+                map(repr, jena.query(text))
+            )
+
+    def test_bigger_than_jena_ng(self, graph):
+        jena = NamedGraphBaseline.from_graph(graph)
+        ng4j = Ng4jBaseline.from_graph(graph)
+        assert ng4j.sizeof() > jena.sizeof()
+
+    def test_visits_every_graph_on_narrow_windows(self, graph):
+        """NG4J inspects every graph; Jena NG's interval sweep exits early."""
+
+        class CountingDict(dict):
+            def __init__(self, *args):
+                super().__init__(*args)
+                self.reads = 0
+
+            def __getitem__(self, key):
+                self.reads += 1
+                return super().__getitem__(key)
+
+            def items(self):
+                self.reads += len(self)
+                return super().items()
+
+        text = "SELECT ?s ?o {?s club ?o 2006-01-15}"
+
+        jena = NamedGraphBaseline.from_graph(graph)
+        jena.graphs = CountingDict(jena.graphs)
+        jena.query(text)
+        ng4j = Ng4jBaseline.from_graph(graph)
+        ng4j.graphs = CountingDict(ng4j.graphs)
+        ng4j.query(text)
+
+        total = len(ng4j.graphs)
+        assert ng4j.graphs.reads >= total  # no metadata index: full visit
+        assert jena.graphs.reads < total  # interval sweep prunes

@@ -1,0 +1,132 @@
+"""Edge-case coverage: calendar restriction corners, weighted aggregates,
+dataset round trips, and engine behaviour at domain boundaries."""
+
+import pytest
+
+from repro.engine import RDFTX
+from repro.io import dumps, loads
+from repro.model import (
+    MIN_TIME,
+    NOW,
+    Period,
+    PeriodSet,
+    TemporalGraph,
+    date_to_chronon,
+)
+from repro.mvsbt import CMVSBT, MVSBT
+from repro.sparqlt import parse_expression
+from repro.sparqlt.functions import restrict
+
+D = date_to_chronon
+HORIZON = D("2020-01-01")
+
+
+class TestCalendarRestrictionCorners:
+    def test_month_not_equal(self):
+        periods = PeriodSet([Period(D("2013-01-10"), D("2013-03-20"))])
+        got = restrict(parse_expression("MONTH(?t) != 2"), periods, HORIZON)
+        # February carved out.
+        assert got == PeriodSet(
+            [
+                Period(D("2013-01-10"), D("2013-02-01")),
+                Period(D("2013-03-01"), D("2013-03-20")),
+            ]
+        )
+
+    def test_month_across_year_boundary(self):
+        periods = PeriodSet([Period(D("2012-11-15"), D("2013-02-15"))])
+        got = restrict(parse_expression("MONTH(?t) = 1"), periods, HORIZON)
+        assert got == PeriodSet([Period(D("2013-01-01"), D("2013-02-01"))])
+
+    def test_day_comparison_range(self):
+        periods = PeriodSet([Period(D("2013-05-01"), D("2013-05-10"))])
+        got = restrict(parse_expression("DAY(?t) >= 8"), periods, HORIZON)
+        assert got == PeriodSet([Period(D("2013-05-08"), D("2013-05-10"))])
+
+    def test_year_of_leap_day(self):
+        periods = PeriodSet([Period(D("2012-02-28"), D("2012-03-02"))])
+        got = restrict(parse_expression("DAY(?t) = 29"), periods, HORIZON)
+        assert got == PeriodSet([Period.point(D("2012-02-29"))])
+
+    def test_restriction_on_empty_overlap(self):
+        periods = PeriodSet([Period(D("2013-05-01"), D("2013-05-10"))])
+        got = restrict(parse_expression("YEAR(?t) = 1999"), periods, HORIZON)
+        assert got.is_empty
+
+
+class TestWeightedAggregates:
+    def test_mvsbt_fractional_weights(self):
+        tree = MVSBT()
+        tree.insert(10, 1, weight=0.25)
+        tree.insert(20, 2, weight=1.75)
+        assert tree.query(15, 5) == 0.25
+        assert tree.query(25, 5) == 2.0
+
+    def test_cmvsbt_weights_conserved(self):
+        compressed = CMVSBT(cm=2, lm=2)
+        total = 0.0
+        for i in range(50):
+            weight = 0.5 + (i % 3)
+            compressed.insert(i * 3, i, weight)
+            total += weight
+        assert compressed.estimate(1000, 1000) == pytest.approx(total, rel=0.02)
+
+
+class TestDatasetRoundTrips:
+    def test_generated_dataset_survives_serialization(self):
+        from repro.datasets import wikipedia
+
+        graph = wikipedia.generate(400, seed=6).graph
+        restored = loads(dumps(graph))
+        engine_a = RDFTX.from_graph(graph)
+        engine_b = RDFTX.from_graph(restored)
+        q = "SELECT ?s ?o {?s population ?o ?t . FILTER(YEAR(?t) = 2011)}"
+        assert sorted(map(repr, engine_a.query(q))) == sorted(
+            map(repr, engine_b.query(q))
+        )
+
+
+class TestDomainBoundaries:
+    def test_fact_at_epoch(self):
+        g = TemporalGraph()
+        g.add("a", "p", "x", MIN_TIME, 5)
+        engine = RDFTX.from_graph(g)
+        result = engine.query("SELECT ?o {a p ?o 1970-01-01}")
+        assert result.column("o") == ["x"]
+
+    def test_live_fact_far_future_query(self):
+        g = TemporalGraph()
+        g.add("a", "p", "x", 5)
+        engine = RDFTX.from_graph(g)
+        result = engine.query("SELECT ?o {a p ?o 2199-12-31}")
+        assert result.column("o") == ["x"]
+
+    def test_point_query_at_interval_edges(self):
+        g = TemporalGraph()
+        g.add("a", "p", "x", D("2010-01-01"), D("2011-01-01"))
+        engine = RDFTX.from_graph(g)
+        # First day matches; the (half-open) end day does not.
+        assert len(engine.query("SELECT ?o {a p ?o 2010-01-01}")) == 1
+        assert len(engine.query("SELECT ?o {a p ?o 2010-12-31}")) == 1
+        assert len(engine.query("SELECT ?o {a p ?o 2011-01-01}")) == 0
+
+    def test_single_chronon_fact(self):
+        g = TemporalGraph()
+        g.add("a", "p", "x", 100, 101)
+        engine = RDFTX.from_graph(g)
+        result = engine.query("SELECT ?t {a p x ?t}")
+        assert result.rows[0]["t"] == PeriodSet([Period(100, 101)])
+
+    def test_many_values_same_chronon(self):
+        """Distinct objects for one (s, p) may overlap freely in time."""
+        g = TemporalGraph()
+        for i in range(20):
+            g.add("a", "p", f"x{i}", 50, 60)
+        engine = RDFTX.from_graph(g)
+        result = engine.query("SELECT ?o {a p ?o ?t}")
+        assert len(result) == 20
+
+    def test_empty_graph_engine(self):
+        engine = RDFTX.from_graph(TemporalGraph())
+        result = engine.query("SELECT ?s {?s ?p ?o ?t}")
+        assert len(result) == 0

@@ -1,0 +1,150 @@
+"""Filter semantics through the full engine: restrictions, built-ins,
+boolean connectives, and their interaction with joins."""
+
+import pytest
+
+from repro.engine import RDFTX
+from repro.model import NOW, Period, PeriodSet, TemporalGraph, date_to_chronon
+
+D = date_to_chronon
+
+
+@pytest.fixture(scope="module")
+def engine():
+    g = TemporalGraph()
+    g.add("acme", "ceo", "alice", D("2005-03-01"), D("2011-06-15"))
+    g.add("acme", "ceo", "bob", D("2011-06-15"), D("2014-02-01"))
+    g.add("acme", "ceo", "carol", D("2014-02-01"))
+    g.add("acme", "hq", "london", D("2005-03-01"), D("2012-09-01"))
+    g.add("acme", "hq", "berlin", D("2012-09-01"))
+    g.add("acme", "employees", "120", D("2005-03-01"), D("2010-01-01"))
+    g.add("acme", "employees", "450", D("2010-01-01"), D("2013-01-01"))
+    g.add("acme", "employees", "90", D("2013-01-01"))
+    g.add("globex", "ceo", "hank", D("2008-01-01"), D("2009-01-01"))
+    return RDFTX.from_graph(g)
+
+
+class TestRestrictions:
+    def test_year_restriction_clips_binding(self, engine):
+        result = engine.query(
+            "SELECT ?who ?t {acme ceo ?who ?t . FILTER(YEAR(?t) = 2011)}"
+        )
+        by_who = {r["who"]: r["t"] for r in result}
+        assert set(by_who) == {"alice", "bob"}
+        assert by_who["alice"].last() == D("2011-06-15") - 1
+        assert by_who["bob"].first() == D("2011-06-15")
+
+    def test_month_restriction(self, engine):
+        result = engine.query(
+            "SELECT ?who {acme ceo ?who ?t . "
+            "FILTER(YEAR(?t) = 2011 && MONTH(?t) = 6)}"
+        )
+        assert sorted(result.column("who")) == ["alice", "bob"]
+
+    def test_range_restriction_both_sides(self, engine):
+        result = engine.query(
+            "SELECT ?who {acme ceo ?who ?t . "
+            "FILTER(?t >= 2012-01-01 && ?t <= 2013-12-31)}"
+        )
+        assert result.column("who") == ["bob"]
+
+    def test_contradictory_restrictions_empty(self, engine):
+        result = engine.query(
+            "SELECT ?who {acme ceo ?who ?t . "
+            "FILTER(YEAR(?t) = 2006 && YEAR(?t) = 2015)}"
+        )
+        assert len(result) == 0
+
+
+class TestBuiltins:
+    def test_length_filters_short_tenures(self, engine):
+        result = engine.query(
+            "SELECT ?who {acme ceo ?who ?t . FILTER(LENGTH(?t) > 3 YEAR)}"
+        )
+        # alice ~6.3y, bob ~2.6y; carol is live but the data horizon sits
+        # one day after her start, so her clipped tenure is a day.
+        assert sorted(result.column("who")) == ["alice"]
+
+    def test_total_length(self, engine):
+        result = engine.query(
+            "SELECT ?n {acme employees ?n ?t . "
+            "FILTER(TOTAL_LENGTH(?t) > 4 YEAR)}"
+        )
+        assert result.column("n") == ["120"]
+
+    def test_tstart_comparison(self, engine):
+        result = engine.query(
+            "SELECT ?who {acme ceo ?who ?t . "
+            "FILTER(TSTART(?t) >= 2011-01-01)}"
+        )
+        assert sorted(result.column("who")) == ["bob", "carol"]
+
+    def test_succession_chain(self, engine):
+        result = engine.query(
+            "SELECT ?old ?new {acme ceo ?old ?t1 . acme ceo ?new ?t2 . "
+            "FILTER(TEND(?t1) = TSTART(?t2))}"
+        )
+        pairs = {(r["old"], r["new"]) for r in result}
+        assert pairs == {("alice", "bob"), ("bob", "carol")}
+
+
+class TestBooleanConnectives:
+    def test_disjunction(self, engine):
+        result = engine.query(
+            "SELECT ?who {acme ceo ?who ?t . "
+            "FILTER(YEAR(?t) = 2006 || YEAR(?t) = 2015)}"
+        )
+        assert sorted(result.column("who")) == ["alice", "carol"]
+
+    def test_negation(self, engine):
+        result = engine.query(
+            "SELECT ?who {acme ceo ?who ?t . FILTER(!(?who = alice))}"
+        )
+        assert sorted(result.column("who")) == ["bob", "carol"]
+
+    def test_numeric_comparison_on_objects(self, engine):
+        result = engine.query(
+            "SELECT ?n {acme employees ?n ?t . FILTER(?n > 100)}"
+        )
+        assert sorted(result.column("n")) == ["120", "450"]
+
+    def test_mixed_and_or(self, engine):
+        result = engine.query(
+            "SELECT ?who ?city {acme ceo ?who ?t . acme hq ?city ?t . "
+            "FILTER(?city = berlin && (?who = bob || ?who = carol))}"
+        )
+        pairs = {(r["who"], r["city"]) for r in result}
+        assert pairs == {("bob", "berlin"), ("carol", "berlin")}
+
+
+class TestJoinInteraction:
+    def test_restriction_applies_to_joined_binding(self, engine):
+        result = engine.query(
+            "SELECT ?who ?city ?t {acme ceo ?who ?t . acme hq ?city ?t . "
+            "FILTER(YEAR(?t) = 2012)}"
+        )
+        pairs = {(r["who"], r["city"]) for r in result}
+        assert pairs == {("bob", "london"), ("bob", "berlin")}
+
+    def test_join_produces_intersected_periods(self, engine):
+        result = engine.query(
+            "SELECT ?who ?city ?t {acme ceo ?who ?t . acme hq ?city ?t}"
+        )
+        for row in result:
+            assert isinstance(row["t"], PeriodSet)
+            assert not row["t"].is_empty
+        # bob x london: [2011-06-15, 2012-09-01).
+        bob_london = next(
+            r["t"] for r in result
+            if r["who"] == "bob" and r["city"] == "london"
+        )
+        assert bob_london == PeriodSet(
+            [Period(D("2011-06-15"), D("2012-09-01"))]
+        )
+
+    def test_filter_referencing_two_periods(self, engine):
+        result = engine.query(
+            "SELECT ?who {acme ceo ?who ?t1 . acme hq berlin ?t2 . "
+            "FILTER(TSTART(?t1) >= TSTART(?t2))}"
+        )
+        assert result.column("who") == ["carol"]

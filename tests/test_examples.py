@@ -1,0 +1,30 @@
+"""Smoke tests: every example script runs and prints its headline result."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+CASES = {
+    "quickstart.py": "[09/30/2013 ... now]",
+    "university_history.py": "Janet_Napolitano",
+    "wikipedia_timeline.py": "Population timeline",
+    "govtrack_optimizer.py": "Optimized plan:",
+    "knowledge_audit.py": "After recovery:",
+    "union_optional.py": "OPTIONAL",
+}
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert CASES[script] in completed.stdout

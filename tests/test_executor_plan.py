@@ -1,0 +1,172 @@
+"""Tests for plan construction, join ordering, and executor behaviors."""
+
+import pytest
+
+from repro.engine import RDFTX, default_order, translate_pattern
+from repro.engine.patterns import UnknownTermError, decode_key_to_spo
+from repro.engine.plan import PlanGraph
+from repro.model import NOW, Period, PeriodSet, TemporalGraph
+from repro.sparqlt import parse
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g = TemporalGraph()
+    g.add("a", "p", "x", 1, 10)
+    g.add("a", "q", "y", 5, 20)
+    g.add("b", "p", "x", 3, 8)
+    g.add("b", "r", "z", 1, NOW)
+    g.add("c", "q", "y", 2, 4)
+    return g
+
+
+@pytest.fixture(scope="module")
+def engine(graph):
+    return RDFTX.from_graph(graph)
+
+
+class TestPatternTranslation:
+    def test_index_choice_matrix(self, graph):
+        cases = {
+            "SELECT ?t {a p x ?t}": ("spo", "SPO"),
+            "SELECT ?o {a p ?o ?t}": ("spo", "SP"),
+            "SELECT ?p {a ?p x ?t}": ("sop", "SO"),
+            "SELECT ?p ?o {a ?p ?o ?t}": ("spo", "S"),
+            "SELECT ?s {?s p x ?t}": ("pos", "PO"),
+            "SELECT ?s ?o {?s p ?o ?t}": ("pos", "P"),
+            "SELECT ?s ?p {?s ?p x ?t}": ("ops", "O"),
+            "SELECT ?s ?p ?o {?s ?p ?o ?t}": ("spo", ""),
+        }
+        for text, (order, ptype) in cases.items():
+            query = parse(text)
+            plan = translate_pattern(query.patterns[0], graph.dictionary)
+            assert plan.index_order == order, text
+            assert plan.pattern_type.replace("T", "") == ptype, text
+
+    def test_time_constant_pattern_type(self, graph):
+        query = parse("SELECT ?o {a p ?o 1970-01-05}")
+        plan = translate_pattern(query.patterns[0], graph.dictionary)
+        assert plan.pattern_type == "SPT"
+        assert plan.time_range == Period.point(4)
+
+    def test_unknown_term_raises(self, graph):
+        query = parse("SELECT ?t {nosuch p x ?t}")
+        with pytest.raises(UnknownTermError):
+            translate_pattern(query.patterns[0], graph.dictionary)
+
+    def test_repeated_variable_slots(self, graph):
+        query = parse("SELECT ?x {?x p ?x ?t}")
+        plan = translate_pattern(query.patterns[0], graph.dictionary)
+        assert plan.equal_slots  # the repeated ?x must be checked
+
+    def test_window_intersection_from_filters(self, graph):
+        query = parse(
+            "SELECT ?o {a p ?o ?t . "
+            "FILTER(?t >= 1970-01-03 && ?t <= 1970-01-06)}"
+        )
+        plan = translate_pattern(
+            query.patterns[0], graph.dictionary, query.filter_conjuncts()
+        )
+        assert plan.time_range == Period(2, 6)
+
+    def test_decode_key_roundtrip(self):
+        assert decode_key_to_spo((7, 8, 9), "spo") == (7, 8, 9)
+        assert decode_key_to_spo((8, 9, 7), "pos") == (7, 8, 9)
+        assert decode_key_to_spo((9, 8, 7), "ops") == (7, 8, 9)
+        assert decode_key_to_spo((7, 9, 8), "sop") == (7, 8, 9)
+
+
+class TestPlanGraph:
+    def test_edges_from_shared_variables(self, graph):
+        query = parse(
+            "SELECT ?s {?s p ?o1 ?t . ?s q ?o2 ?t . ?x r ?o3 ?u}"
+        )
+        patterns = [
+            translate_pattern(p, graph.dictionary) for p in query.patterns
+        ]
+        plan_graph = PlanGraph.build(query, patterns)
+        assert (0, 1) in plan_graph.edges
+        assert plan_graph.neighbors(2) == set()
+        assert not plan_graph.connected({0, 1}, 2)
+        assert plan_graph.connected(set(), 2)
+
+    def test_describe_mentions_each_pattern(self, engine):
+        text = engine.explain("SELECT ?s {?s p ?o ?t . ?s q ?o2 ?t}")
+        assert text.count("scan") == 2
+
+
+class TestDefaultOrder:
+    def test_most_selective_first(self, graph):
+        query = parse("SELECT ?s ?o {?s ?p ?o ?t . ?s p x ?t}")
+        patterns = [
+            translate_pattern(p, graph.dictionary) for p in query.patterns
+        ]
+        plan_graph = PlanGraph.build(query, patterns)
+        assert default_order(plan_graph)[0] == 1
+
+    def test_connectivity_preferred(self, graph):
+        query = parse(
+            "SELECT ?s {?s p x ?t . ?y q ?o ?u . ?s q ?o ?t2}"
+        )
+        patterns = [
+            translate_pattern(p, graph.dictionary) for p in query.patterns
+        ]
+        plan_graph = PlanGraph.build(query, patterns)
+        order = default_order(plan_graph)
+        # After the anchor (0), its neighbor (2) comes before the island (1).
+        assert order.index(2) < order.index(1)
+
+
+class TestExecutorSemantics:
+    def test_cross_product_when_disconnected(self, engine):
+        result = engine.query(
+            "SELECT ?o1 ?o2 {a p ?o1 ?t1 . b r ?o2 ?t2}"
+        )
+        assert len(result) == 1
+        assert result.rows[0] == {"o1": "x", "o2": "z"}
+
+    def test_join_on_term_only(self, engine):
+        """Different temporal variables do not intersect periods."""
+        result = engine.query(
+            "SELECT ?s {?s p x ?t1 . ?s q y ?t2}"
+        )
+        assert sorted(result.column("s")) == ["a"]
+
+    def test_join_on_shared_time(self, engine):
+        result = engine.query("SELECT ?s ?t {?s p x ?t . ?s q y ?t}")
+        (row,) = result
+        assert row["s"] == "a"
+        assert row["t"] == PeriodSet([Period(5, 10)])
+
+    def test_filter_on_join_result(self, engine):
+        result = engine.query(
+            "SELECT ?s {?s p x ?t . ?s q y ?t . FILTER(LENGTH(?t) > 10)}"
+        )
+        assert len(result) == 0
+
+    def test_projection_deduplicates(self, engine):
+        result = engine.query("SELECT ?p {?s ?p x ?t}")
+        assert sorted(result.column("p")) == ["p"]
+
+    def test_select_unbound_variable_is_none(self, engine):
+        result = engine.query("SELECT ?ghost {a p ?o ?t}")
+        assert result.rows[0]["ghost"] is None
+
+    def test_empty_scan_short_circuits(self, engine):
+        result = engine.query(
+            "SELECT ?s {?s p nosuchvalue ?t . ?s q ?o ?t}"
+        )
+        assert len(result) == 0
+
+
+class TestQueryResult:
+    def test_bool_len_iter(self, engine):
+        result = engine.query("SELECT ?o {a p ?o ?t}")
+        assert result
+        assert len(result) == 1
+        assert list(result) == result.rows
+
+    def test_column_missing_key_raises(self, engine):
+        result = engine.query("SELECT ?o {a p ?o ?t}")
+        with pytest.raises(KeyError):
+            result.column("nope")

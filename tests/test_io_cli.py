@@ -1,0 +1,172 @@
+"""Tests for the temporal N-Quads format and the CLI."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import cli
+from repro.io import FormatError, dump_graph, dumps, load_graph, loads
+from repro.model import NOW, TemporalGraph, date_to_chronon
+
+D = date_to_chronon
+
+
+def sample_graph() -> TemporalGraph:
+    g = TemporalGraph()
+    g.add("UC", "president", "Mark Yudof", D("2008-06-16"), D("2013-09-30"))
+    g.add("UC", "president", "Janet_Napolitano", D("2013-09-30"))
+    g.add("UC", "motto", 'say "Fiat Lux"', D("2000-01-01"))
+    g.add("odd\\term", "p", "v", 10, 20)
+    return g
+
+
+class TestRoundtrip:
+    def test_dumps_loads(self):
+        graph = sample_graph()
+        restored = loads(dumps(graph))
+        assert sorted(map(str, restored.triples())) == sorted(
+            map(str, graph.triples())
+        )
+
+    def test_file_roundtrip(self, tmp_path):
+        graph = sample_graph()
+        path = tmp_path / "data.tnq"
+        count = dump_graph(graph, path)
+        assert count == len(graph)
+        restored = load_graph(path)
+        assert len(restored) == len(graph)
+
+    def test_gzip_roundtrip(self, tmp_path):
+        graph = sample_graph()
+        path = tmp_path / "data.tnq.gz"
+        dump_graph(graph, path)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"  # gzip magic
+        restored = load_graph(path)
+        assert len(restored) == len(graph)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(
+                    alphabet=st.characters(
+                        blacklist_categories=("Cs", "Cc")
+                    ),
+                    min_size=1,
+                    max_size=20,
+                ),
+                st.integers(0, 10000),
+                st.integers(1, 5000),
+            ),
+            min_size=0,
+            max_size=20,
+        )
+    )
+    def test_roundtrip_property(self, rows):
+        graph = TemporalGraph()
+        for term, start, length in rows:
+            graph.add(term, f"p_{length}", term[::-1] or "v", start,
+                      start + length)
+        restored = loads(dumps(graph))
+        assert sorted(map(str, restored.triples())) == sorted(
+            map(str, graph.triples())
+        )
+
+
+class TestParsing:
+    def test_comments_and_blanks(self):
+        text = "# a comment\n\nA p B 2010-01-01 now .\n"
+        graph = loads(text)
+        assert len(graph) == 1
+
+    def test_integer_chronons(self):
+        graph = loads("A p B 100 200 .\n")
+        triple = next(graph.triples())
+        assert triple.period.start == 100
+        assert triple.period.end == 200
+
+    def test_trailing_dot_optional(self):
+        assert len(loads("A p B 100 200\n")) == 1
+
+    def test_wrong_field_count(self):
+        with pytest.raises(FormatError):
+            loads("A p B 100 .\n")
+
+    def test_bad_timestamp(self):
+        with pytest.raises(FormatError) as err:
+            loads("A p B someday now .\n")
+        assert err.value.line_number == 1
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(FormatError):
+            loads("A p B 2010-01-01 2010-01-01 .\n")
+
+    def test_quoted_terms(self):
+        graph = loads('"two words" "a \\"b\\"" "c\\\\d" 1 2 .\n')
+        triple = next(graph.triples())
+        assert triple.subject == "two words"
+        assert triple.predicate == 'a "b"'
+        assert triple.object == "c\\d"
+
+
+class TestCLI:
+    @pytest.fixture()
+    def dataset(self, tmp_path):
+        path = tmp_path / "uc.tnq"
+        dump_graph(sample_graph(), path)
+        return str(path)
+
+    def test_info(self, dataset, capsys):
+        assert cli.main(["info", dataset]) == 0
+        out = capsys.readouterr().out
+        assert "triples:        4" in out
+        assert "index size:" in out
+
+    def test_query(self, dataset, capsys):
+        code = cli.main(
+            ["query", dataset,
+             "SELECT ?t {UC president Janet_Napolitano ?t}"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[09/30/2013 ... now]" in out
+        assert "1 row(s)" in out
+
+    def test_query_explain_and_time(self, dataset, capsys):
+        code = cli.main(
+            ["query", dataset, "--explain", "--time",
+             "SELECT ?p {UC ?p ?o ?t}"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Plan:" in out
+        assert "ms" in out
+
+    def test_query_error(self, dataset, capsys):
+        code = cli.main(["query", dataset, "SELECT bogus"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_generate_then_info(self, tmp_path, capsys):
+        out_path = str(tmp_path / "wiki.tnq")
+        assert cli.main(["generate", "wikipedia", "300", out_path]) == 0
+        capsys.readouterr()
+        assert cli.main(["info", out_path]) == 0
+        assert "predicates:" in capsys.readouterr().out
+
+    def test_shell_session(self, dataset, capsys, monkeypatch):
+        lines = iter([
+            ".help",
+            "SELECT ?t {UC president Janet_Napolitano ?t};",
+            ".explain",
+            "SELECT ?p {UC ?p ?o ?t};",
+            ".quit",
+        ])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        assert cli.main(["shell", dataset]) == 0
+        out = capsys.readouterr().out
+        assert "[09/30/2013 ... now]" in out
+        assert "explain on" in out
+        assert "Plan:" in out

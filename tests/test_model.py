@@ -1,0 +1,138 @@
+"""Tests for triples, dictionary encoding, and temporal graphs."""
+
+import pytest
+
+from repro.model import (
+    Dictionary,
+    DictionaryError,
+    NOW,
+    Period,
+    TemporalGraph,
+    TemporalTriple,
+    Triple,
+    date_to_chronon,
+)
+
+
+class TestTriple:
+    def test_iteration(self):
+        t = Triple("UC", "president", "Mark_Yudof")
+        assert list(t) == ["UC", "president", "Mark_Yudof"]
+
+    def test_str(self):
+        t = Triple("UC", "president", "Mark_Yudof")
+        assert str(t) == "(UC, president, Mark_Yudof)"
+
+
+class TestTemporalTriple:
+    def test_make_live(self):
+        t = TemporalTriple.make("UC", "president", "Napolitano", 100)
+        assert t.is_live
+        assert t.period == Period(100, NOW)
+
+    def test_static_part(self):
+        t = TemporalTriple.make("UC", "president", "Napolitano", 100, 200)
+        assert t.triple == Triple("UC", "president", "Napolitano")
+
+    def test_str_matches_paper_rendering(self):
+        start = date_to_chronon("09/30/2013")
+        t = TemporalTriple.make(
+            "University_of_California", "president", "Janet_Napolitano", start
+        )
+        assert str(t).endswith("[09/30/2013 ... now]")
+
+
+class TestDictionary:
+    def test_ids_are_dense_from_one(self):
+        d = Dictionary()
+        assert d.encode("a") == 1
+        assert d.encode("b") == 2
+        assert d.encode("a") == 1
+
+    def test_decode(self):
+        d = Dictionary()
+        ident = d.encode("University_of_California")
+        assert d.decode(ident) == "University_of_California"
+
+    def test_decode_unknown_raises(self):
+        d = Dictionary()
+        with pytest.raises(DictionaryError):
+            d.decode(42)
+        with pytest.raises(DictionaryError):
+            d.decode(0)
+
+    def test_lookup_without_assign(self):
+        d = Dictionary()
+        assert d.lookup("missing") is None
+        d.encode("present")
+        assert d.lookup("present") == 1
+
+    def test_bounds(self):
+        d = Dictionary()
+        d.encode_many(["a", "b", "c"])
+        assert d.max_id == 3
+        assert d.upper_bound == 4
+        assert len(d) == 3
+        assert "b" in d
+
+    def test_sizeof_grows(self):
+        d = Dictionary()
+        empty = d.sizeof()
+        d.encode_many(f"term-{i}" for i in range(100))
+        assert d.sizeof() > empty
+
+
+class TestTemporalGraph:
+    @pytest.fixture
+    def uc_graph(self):
+        """The University of California history of Table 2."""
+        g = TemporalGraph()
+        day = date_to_chronon
+        g.add("UC", "president", "Mark_Yudof",
+              day("06/16/2008"), day("09/30/2013"))
+        g.add("UC", "president", "Janet_Napolitano", day("09/30/2013"))
+        g.add("UC", "endowment", "10.3", day("07/01/2013"), day("07/01/2014"))
+        g.add("UC", "endowment", "13.1", day("07/01/2014"))
+        g.add("UC", "undergraduate", "184562",
+              day("05/14/2013"), day("01/30/2015"))
+        g.add("UC", "undergraduate", "188300", day("01/30/2015"))
+        return g
+
+    def test_len(self, uc_graph):
+        assert len(uc_graph) == 6
+
+    def test_decode_roundtrip(self, uc_graph):
+        decoded = list(uc_graph.triples())
+        assert any(t.object == "Janet_Napolitano" for t in decoded)
+
+    def test_history_of_subject(self, uc_graph):
+        history = uc_graph.history_of("UC", "president")
+        assert [t.object for t in history] == [
+            "Mark_Yudof",
+            "Janet_Napolitano",
+        ]
+
+    def test_history_of_unknown(self, uc_graph):
+        assert uc_graph.history_of("MIT") == []
+        assert uc_graph.history_of("UC", "nosuch") == []
+
+    def test_validity_when_query(self, uc_graph):
+        """Example 1: when did Napolitano serve as president."""
+        ps = uc_graph.validity("UC", "president", "Janet_Napolitano")
+        assert len(ps) == 1
+        assert ps.first() == date_to_chronon("09/30/2013")
+        assert ps.periods[0].is_live
+
+    def test_validity_unknown_term(self, uc_graph):
+        assert uc_graph.validity("UC", "president", "Nobody").is_empty
+
+    def test_predicate_counts(self, uc_graph):
+        counts = uc_graph.predicate_counts()
+        pid = uc_graph.dictionary.lookup("president")
+        assert counts[pid] == 2
+
+    def test_distinct_subjects(self, uc_graph):
+        assert uc_graph.distinct_subjects() == 1
+
+    def test_raw_size_positive(self, uc_graph):
+        assert uc_graph.raw_size() > 6 * 16

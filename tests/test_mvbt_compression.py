@@ -1,0 +1,259 @@
+"""Tests for the delta compression of MVBT leaves (Section 4.2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.time import MIN_TIME, NOW, Period, PeriodSet
+from repro.mvbt import (
+    MAX_KEY,
+    MIN_KEY,
+    MVBT,
+    MVBTConfig,
+    collect_validity,
+)
+from repro.mvbt.compression import (
+    CompressedLeafStore,
+    CompressionError,
+    STANDARD_ENTRY_BYTES,
+    _len_code,
+    _unzigzag,
+    _zigzag,
+)
+from repro.mvbt.entry import LeafEntry
+
+SMALL = MVBTConfig(block_capacity=8, weak_min=2, epsilon=1)
+
+
+class TestCodecPrimitives:
+    @given(st.integers(min_value=-(2**31), max_value=2**31))
+    def test_zigzag_roundtrip(self, value):
+        assert _unzigzag(_zigzag(value)) == value
+
+    def test_zigzag_keeps_small_magnitudes_small(self):
+        assert _zigzag(0) == 0
+        assert _zigzag(-1) == 1
+        assert _zigzag(1) == 2
+
+    def test_len_code_boundaries(self):
+        assert _len_code(0) == 0
+        assert _len_code(255) == 1
+        assert _len_code(256) == 2
+        assert _len_code(65535) == 2
+        assert _len_code(65536) == 3
+
+    def test_len_code_overflow(self):
+        with pytest.raises(CompressionError):
+            _len_code(2**40)
+
+
+def entry(v1, v2, v3, ts, te=NOW):
+    return LeafEntry((v1, v2, v3), ts, te, None)
+
+
+class TestStoreRoundtrip:
+    def test_empty(self):
+        store = CompressedLeafStore([])
+        assert store.entries() == []
+        assert store.count == 0
+
+    def test_single_live_entry(self):
+        entries = [entry(100, 200, 300, 50)]
+        store = CompressedLeafStore(entries)
+        assert store.entries() == entries
+
+    def test_mixed_entries(self):
+        entries = [
+            entry(100, 200, 300, 50, 60),
+            entry(100, 200, 301, 55),
+            entry(100, 205, 9, 55, NOW - 1),  # long finite interval
+            entry(7, 1, 2, 58),
+        ]
+        store = CompressedLeafStore(entries)
+        assert store.entries() == entries
+
+    def test_compact_header_used_for_shared_prefix(self):
+        """Consecutive live entries sharing v1 use the 1-byte header."""
+        entries = [
+            entry(42, 5, 7, 10),
+            entry(42, 5, 8, 11),
+            entry(42, 6, 1, 11),
+        ]
+        store = CompressedLeafStore(entries)
+        assert store.entries() == entries
+        # First entry is normal (2-byte header); followers are compact and
+        # tiny: well under the uncompressed 40 bytes each.
+        assert len(store._buf) < 3 * 12
+
+    def test_append_after_build(self):
+        store = CompressedLeafStore([entry(1, 2, 3, 5)])
+        store.append(entry(1, 2, 4, 9))
+        assert [e.key for e in store.entries()] == [(1, 2, 3), (1, 2, 4)]
+
+    def test_append_below_base_value(self):
+        """Appends smaller than the node minima still roundtrip (zigzag)."""
+        store = CompressedLeafStore([entry(100, 100, 100, 50)])
+        store.append(entry(1, 1, 1, 50))
+        assert store.entries()[1].key == (1, 1, 1)
+
+    def test_append_time_regression_rejected(self):
+        store = CompressedLeafStore([entry(1, 2, 3, 50)])
+        with pytest.raises(CompressionError):
+            store.append(entry(1, 2, 4, 10))
+
+    def test_end_live(self):
+        store = CompressedLeafStore(
+            [entry(1, 2, 3, 5), entry(1, 2, 4, 6)]
+        )
+        assert store.end_live((1, 2, 3), 9)
+        first, second = store.entries()
+        assert first.end == 9
+        assert second.end == NOW
+
+    def test_end_live_missing(self):
+        store = CompressedLeafStore([entry(1, 2, 3, 5)])
+        assert not store.end_live((9, 9, 9), 7)
+
+    def test_payload_rejected(self):
+        with pytest.raises(CompressionError):
+            CompressedLeafStore([LeafEntry((1, 2, 3), 5, NOW, "data")])
+
+    def test_sizeof_beats_standard(self):
+        entries = [entry(7, 3, i, 100 + i) for i in range(50)]
+        store = CompressedLeafStore(entries)
+        assert store.sizeof() < STANDARD_ENTRY_BYTES * len(entries)
+
+
+@st.composite
+def entry_lists(draw):
+    n = draw(st.integers(min_value=0, max_value=40))
+    out = []
+    ts = 0
+    for _ in range(n):
+        ts += draw(st.integers(min_value=0, max_value=1000))
+        v1 = draw(st.integers(min_value=1, max_value=2**30))
+        v2 = draw(st.integers(min_value=1, max_value=2**30))
+        v3 = draw(st.integers(min_value=1, max_value=2**30))
+        if draw(st.booleans()):
+            te = NOW
+        else:
+            te = ts + draw(st.integers(min_value=1, max_value=2**20))
+        out.append(entry(v1, v2, v3, ts, te))
+    return out
+
+
+@settings(max_examples=100, deadline=None)
+@given(entry_lists())
+def test_roundtrip_property(entries):
+    store = CompressedLeafStore(entries)
+    assert store.entries() == entries
+
+
+@settings(max_examples=40, deadline=None)
+@given(entry_lists(), st.integers(0, 39))
+def test_end_live_property(entries, which):
+    live = [e for e in entries if e.end == NOW]
+    store = CompressedLeafStore(entries)
+    if not live:
+        return
+    target = live[which % len(live)]
+    te = max(e.start for e in entries) + 5
+    assert store.end_live(target.key, te)
+    decoded = store.entries()
+    changed = [e for e in decoded if e.key == target.key and e.end == te]
+    assert changed, "target entry not updated"
+    untouched = [
+        (e.key, e.start, e.end) for e in entries if e is not target
+    ]
+    got_rest = [
+        (e.key, e.start, e.end)
+        for e in decoded
+        if not (e.key == target.key and e.start == target.start)
+    ]
+    assert got_rest == untouched
+
+
+class TestCompressedTree:
+    def _build(self, n=200, seed=3):
+        rng = random.Random(seed)
+        tree = MVBT(SMALL)
+        live = set()
+        time = 0
+        for _ in range(n):
+            time += rng.randint(0, 2)
+            k = (rng.randint(0, 30), rng.randint(0, 3), rng.randint(0, 3))
+            if k in live and rng.random() < 0.4:
+                tree.delete(k, time)
+                live.discard(k)
+            elif k not in live:
+                tree.insert(k, time)
+                live.add(k)
+        return tree, time
+
+    def test_queries_identical_after_compression(self):
+        tree, _ = self._build()
+        before = collect_validity(tree)
+        tree.compress()
+        assert all(leaf.is_compressed for leaf in tree.leaf_nodes())
+        after = collect_validity(tree)
+        assert before == after
+
+    def test_decompress_restores(self):
+        tree, _ = self._build()
+        before = collect_validity(tree)
+        tree.compress()
+        tree.decompress()
+        assert not any(leaf.is_compressed for leaf in tree.leaf_nodes())
+        assert collect_validity(tree) == before
+
+    def test_windowed_queries_after_compression(self):
+        tree, time = self._build(400, seed=9)
+        windows = [(0, time // 3), (time // 3, time), (time // 2, time // 2 + 1)]
+        expected = {
+            w: collect_validity(tree, MIN_KEY, MAX_KEY, *w) for w in windows
+        }
+        tree.compress()
+        for w in windows:
+            assert collect_validity(tree, MIN_KEY, MAX_KEY, *w) == expected[w]
+
+    def test_updates_on_compressed_tree(self):
+        """Section 4.2.2: maintenance keeps working after compression."""
+        tree, time = self._build()
+        tree.compress()
+        tree.insert((99, 0, 0), time + 1)
+        tree.delete((99, 0, 0), time + 5)
+        tree.check_invariants()
+        got = collect_validity(tree, (99,), (100,))
+        assert got == {(99, 0, 0): PeriodSet([Period(time + 1, time + 5)])}
+
+    def test_compression_saves_space(self):
+        tree, _ = self._build(2000, seed=11)
+        standard = tree.sizeof()
+        tree.compress()
+        compressed = tree.sizeof()
+        assert compressed < standard * 0.7
+
+    def test_mixed_mode_updates_match_reference(self):
+        """Interleave compression with updates; match an uncompressed twin."""
+        rng = random.Random(21)
+        tree = MVBT(SMALL)
+        shadow = MVBT(SMALL)
+        live = set()
+        time = 0
+        for step in range(600):
+            time += rng.randint(0, 2)
+            k = (rng.randint(0, 20), 0, rng.randint(0, 4))
+            if k in live and rng.random() < 0.4:
+                tree.delete(k, time)
+                shadow.delete(k, time)
+                live.discard(k)
+            elif k not in live:
+                tree.insert(k, time)
+                shadow.insert(k, time)
+                live.add(k)
+            if step in (150, 400):
+                tree.compress()
+        tree.check_invariants()
+        assert collect_validity(tree) == collect_validity(shadow)

@@ -1,0 +1,177 @@
+"""Tests for temporal joins over MVBT (Section 5.2.2)."""
+
+import random
+
+from repro.model.time import MIN_TIME, NOW, Period, PeriodSet
+from repro.mvbt import (
+    MAX_KEY,
+    MIN_KEY,
+    MVBT,
+    MVBTConfig,
+    bulk_load,
+    hash_join,
+    range_interval_scan,
+    synchronized_join,
+)
+
+SMALL = MVBTConfig(block_capacity=8, weak_min=2, epsilon=1)
+
+
+def build_tree(records):
+    tree = MVBT(SMALL)
+    bulk_load(tree, records)
+    return tree
+
+
+def reference_join(left_records, right_records, lk, rk):
+    """Naive nested-loop temporal join over interval records."""
+    out = {}
+    for k1, s1, e1 in left_records:
+        for k2, s2, e2 in right_records:
+            if lk(k1) != rk(k2):
+                continue
+            lo, hi = max(s1, s2), min(e1, e2)
+            if lo < hi:
+                out.setdefault((k1, k2), []).append(Period(lo, hi))
+    return {pair: PeriodSet(parts) for pair, parts in out.items()}
+
+
+class TestHashJoin:
+    def test_simple_equijoin_with_overlap(self):
+        left = build_tree([((1, 10, 0), 5, 20), ((2, 11, 0), 5, 20)])
+        right = build_tree([((1, 30, 0), 10, 30)])
+        got = dict_of(
+            hash_join(
+                range_interval_scan(left),
+                range_interval_scan(right),
+                left_key=lambda k: k[0],
+                right_key=lambda k: k[0],
+            )
+        )
+        assert got == {
+            ((1, 10, 0), (1, 30, 0)): PeriodSet([Period(10, 20)])
+        }
+
+    def test_no_temporal_overlap_means_no_result(self):
+        left = build_tree([((1, 0, 0), 5, 10)])
+        right = build_tree([((1, 1, 1), 10, 20)])
+        got = list(
+            hash_join(
+                range_interval_scan(left),
+                range_interval_scan(right),
+                lambda k: k[0],
+                lambda k: k[0],
+            )
+        )
+        assert got == []
+
+    def test_pieces_coalesce_across_splits(self):
+        """Records split across MVBT nodes still join on full periods."""
+        records = [((i, 0, 0), 1, 100) for i in range(40)]
+        left = build_tree(records)
+        right = build_tree([((0, 5, 5), 50, 200)])
+        got = dict_of(
+            hash_join(
+                range_interval_scan(left),
+                range_interval_scan(right),
+                lambda k: k[0],
+                lambda k: k[0],
+            )
+        )
+        assert got[((0, 0, 0), (0, 5, 5))] == PeriodSet([Period(50, 100)])
+
+
+def dict_of(join_iter):
+    return {(l, r): ps for l, r, ps in join_iter}
+
+
+class TestSynchronizedJoin:
+    def _random_records(self, seed, n, keyspace):
+        rng = random.Random(seed)
+        records = []
+        for _ in range(n):
+            start = rng.randint(0, 500)
+            records.append(
+                (
+                    (rng.randint(0, keyspace), rng.randint(0, 5), rng.randint(0, 5)),
+                    start,
+                    start + rng.randint(1, 300),
+                )
+            )
+        # Dedup identical keys with overlapping periods to keep bulk_load legal.
+        return self._make_loadable(records)
+
+    @staticmethod
+    def _make_loadable(records):
+        by_key = {}
+        out = []
+        for key, start, end in sorted(records, key=lambda r: (r[0], r[1])):
+            prev_end = by_key.get(key, -1)
+            if start < prev_end:
+                continue
+            by_key[key] = end
+            out.append((key, start, end))
+        return out
+
+    def test_matches_hash_join(self):
+        left_records = self._random_records(1, 120, 15)
+        right_records = self._random_records(2, 120, 15)
+        left = build_tree(left_records)
+        right = build_tree(right_records)
+        lk = rk = lambda k: k[0]
+        expected = reference_join(left_records, right_records, lk, rk)
+        got_sync = dict_of(synchronized_join(left, right, lk, rk))
+        got_hash = dict_of(
+            hash_join(
+                range_interval_scan(left),
+                range_interval_scan(right),
+                lk,
+                rk,
+            )
+        )
+        assert got_hash == expected
+        assert got_sync == expected
+
+    def test_windowed(self):
+        left_records = self._random_records(5, 80, 10)
+        right_records = self._random_records(6, 80, 10)
+        left = build_tree(left_records)
+        right = build_tree(right_records)
+        lk = rk = lambda k: k[0]
+        t1, t2 = 100, 300
+        got = dict_of(
+            synchronized_join(left, right, lk, rk, t1=t1, t2=t2)
+        )
+        full = reference_join(left_records, right_records, lk, rk)
+        window = Period(t1, t2)
+        expected = {}
+        for pair, ps in full.items():
+            clipped = ps.restrict(window)
+            if not clipped.is_empty:
+                expected[pair] = clipped
+        clipped_got = {
+            pair: ps.restrict(window)
+            for pair, ps in got.items()
+            if not ps.restrict(window).is_empty
+        }
+        assert clipped_got == expected
+
+    def test_cache_effectiveness(self):
+        """The record cache avoids most repeated page decodes."""
+        from repro.mvbt.join import _LeafCache
+
+        left = build_tree([((i, 0, 0), 1, 50) for i in range(30)])
+        cache = _LeafCache(capacity=128)
+        leaves = list(left.leaf_nodes())
+        for _ in range(5):
+            for leaf in leaves:
+                cache.records(leaf)
+        assert cache.misses == len(leaves)
+        assert cache.hits == 4 * len(leaves)
+
+    def test_empty_inputs(self):
+        left = MVBT(SMALL)
+        right = MVBT(SMALL)
+        assert list(
+            synchronized_join(left, right, lambda k: k, lambda k: k)
+        ) == []

@@ -1,0 +1,325 @@
+"""Tests for the MVBT: structure changes, invariants, reference-model checks.
+
+The reference model replays the same insert/delete stream into a plain list
+of interval records; every query result from the MVBT, coalesced and
+restricted to the query window, must equal the reference answer.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.time import MIN_TIME, NOW, Period, PeriodSet
+from repro.mvbt import (
+    DuplicateKeyError,
+    MAX_KEY,
+    MIN_KEY,
+    MVBT,
+    MVBTConfig,
+    TimeOrderError,
+    bulk_load,
+    collect_validity,
+    prefix_range,
+    range_interval_scan,
+)
+
+SMALL = MVBTConfig(block_capacity=8, weak_min=2, epsilon=1)
+
+
+def key(n: int) -> tuple:
+    return (n, 0, 0)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = MVBTConfig()
+        assert cfg.strong_min < cfg.strong_max
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            MVBTConfig(block_capacity=4, weak_min=1, epsilon=1)
+
+    def test_rejects_key_split_violation(self):
+        with pytest.raises(ValueError):
+            MVBTConfig(block_capacity=8, weak_min=4, epsilon=1)
+
+
+class TestBasicOperations:
+    def test_empty_tree(self):
+        tree = MVBT(SMALL)
+        assert tree.live_records == 0
+        assert list(range_interval_scan(tree)) == []
+
+    def test_single_insert(self):
+        tree = MVBT(SMALL)
+        tree.insert(key(5), 10)
+        got = list(range_interval_scan(tree))
+        assert got == [(key(5), Period(10, NOW), None)]
+        assert tree.live_records == 1
+
+    def test_insert_delete(self):
+        tree = MVBT(SMALL)
+        tree.insert(key(5), 10)
+        tree.delete(key(5), 20)
+        got = collect_validity(tree)
+        assert got == {key(5): PeriodSet([Period(10, 20)])}
+        assert tree.live_records == 0
+
+    def test_duplicate_insert_raises(self):
+        tree = MVBT(SMALL)
+        tree.insert(key(5), 10)
+        with pytest.raises(DuplicateKeyError):
+            tree.insert(key(5), 15)
+
+    def test_reinsert_after_delete(self):
+        tree = MVBT(SMALL)
+        tree.insert(key(5), 10)
+        tree.delete(key(5), 20)
+        tree.insert(key(5), 30)
+        got = collect_validity(tree)
+        assert got[key(5)] == PeriodSet([Period(10, 20), Period(30, NOW)])
+
+    def test_delete_missing_raises(self):
+        tree = MVBT(SMALL)
+        with pytest.raises(KeyError):
+            tree.delete(key(5), 10)
+
+    def test_time_order_enforced(self):
+        tree = MVBT(SMALL)
+        tree.insert(key(5), 10)
+        with pytest.raises(TimeOrderError):
+            tree.insert(key(6), 9)
+
+    def test_insert_interval(self):
+        tree = MVBT(SMALL)
+        tree.insert_interval(key(1), 5, 15)
+        assert collect_validity(tree)[key(1)] == PeriodSet([Period(5, 15)])
+
+    def test_payloads_flow_through(self):
+        tree = MVBT(SMALL)
+        tree.insert(key(3), 4, payload="budget")
+        ((k, period, payload),) = list(range_interval_scan(tree))
+        assert payload == "budget"
+
+
+class TestStructureChanges:
+    def test_version_and_key_splits(self):
+        """Paper Figure 2(b): fill one leaf, watch it split."""
+        tree = MVBT(SMALL)
+        for i in range(30):
+            tree.insert(key(i), i + 1)
+        tree.check_invariants()
+        assert not tree.live_root.is_leaf
+        got = collect_validity(tree)
+        assert set(got) == {key(i) for i in range(30)}
+        for i in range(30):
+            assert got[key(i)] == PeriodSet([Period(i + 1, NOW)])
+
+    def test_merge_on_underflow(self):
+        tree = MVBT(SMALL)
+        for i in range(30):
+            tree.insert(key(i), i + 1)
+        for i in range(25):
+            tree.delete(key(i), 100 + i)
+        tree.check_invariants()
+        live_now = collect_validity(tree, t1=200, t2=NOW)
+        assert set(live_now) == {key(i) for i in range(25, 30)}
+
+    def test_root_chain_grows(self):
+        tree = MVBT(SMALL)
+        for i in range(100):
+            tree.insert(key(i), i + 1)
+        assert len(tree._roots) > 1
+        tree.check_invariants()
+
+    def test_historical_query_after_splits(self):
+        tree = MVBT(SMALL)
+        for i in range(50):
+            tree.insert(key(i), i + 1)
+        # At time 10, keys 0..9 exist.
+        early = collect_validity(tree, t1=10, t2=11)
+        assert set(early) == {key(i) for i in range(10)}
+
+    def test_delete_everything(self):
+        tree = MVBT(SMALL)
+        for i in range(20):
+            tree.insert(key(i), i + 1)
+        for i in range(20):
+            tree.delete(key(i), 50 + i)
+        tree.check_invariants()
+        assert tree.live_records == 0
+        assert collect_validity(tree, t1=100, t2=NOW) == {}
+        # History is intact.
+        assert len(collect_validity(tree)) == 20
+
+
+class ReferenceModel:
+    """Naive interval store used to validate MVBT query answers."""
+
+    def __init__(self):
+        self.records: list[tuple[tuple, int, int]] = []
+        self.live: dict[tuple, int] = {}
+
+    def insert(self, k, t):
+        self.live[k] = t
+
+    def delete(self, k, t):
+        start = self.live.pop(k)
+        self.records.append((k, start, t))
+
+    def finished(self):
+        done = list(self.records)
+        done.extend((k, s, NOW) for k, s in self.live.items())
+        return done
+
+    def query(self, key_low, key_high, t1, t2):
+        window = Period(t1, t2) if t1 < t2 else None
+        out = {}
+        for k, s, e in self.finished():
+            if s >= e:
+                # Inserted and deleted in the same chronon: the record is
+                # annihilated (the MVBT entry has an empty lifetime).
+                continue
+            if not (key_low <= k < key_high):
+                continue
+            if not (s < t2 and t1 < e):
+                continue
+            out.setdefault(k, []).append(Period(s, e))
+        return {
+            k: PeriodSet(parts).restrict(window)
+            for k, parts in out.items()
+        }
+
+
+def _run_scenario(ops, config, queries):
+    tree = MVBT(config)
+    ref = ReferenceModel()
+    for op, k, t in ops:
+        if op == "ins":
+            tree.insert(k, t)
+            ref.insert(k, t)
+        else:
+            tree.delete(k, t)
+            ref.delete(k, t)
+    tree.check_invariants()
+    for key_low, key_high, t1, t2 in queries:
+        got = {
+            k: ps.restrict(Period(t1, t2))
+            for k, ps in collect_validity(
+                tree, key_low, key_high, t1, t2
+            ).items()
+        }
+        got = {k: ps for k, ps in got.items() if not ps.is_empty}
+        expected = ref.query(key_low, key_high, t1, t2)
+        expected = {k: ps for k, ps in expected.items() if not ps.is_empty}
+        assert got == expected, (key_low, key_high, t1, t2)
+
+
+@st.composite
+def op_streams(draw):
+    """Monotone-time streams of inserts and deletes over a small key space."""
+    n = draw(st.integers(min_value=1, max_value=120))
+    ops = []
+    live = set()
+    time = 0
+    for _ in range(n):
+        time += draw(st.integers(min_value=0, max_value=3))
+        k = key(draw(st.integers(min_value=0, max_value=25)))
+        if k in live and draw(st.booleans()):
+            ops.append(("del", k, time))
+            live.discard(k)
+        elif k not in live:
+            ops.append(("ins", k, time))
+            live.add(k)
+    return ops
+
+
+@settings(max_examples=60, deadline=None)
+@given(op_streams())
+def test_mvbt_matches_reference_model(ops):
+    queries = [
+        (MIN_KEY, MAX_KEY, MIN_TIME, NOW),
+        (key(5), key(15), MIN_TIME, NOW),
+        (MIN_KEY, MAX_KEY, 10, 40),
+        (key(0), key(10), 20, 30),
+        (key(20), key(26), 5, NOW),
+    ]
+    _run_scenario(ops, SMALL, queries)
+
+
+@settings(max_examples=20, deadline=None)
+@given(op_streams(), st.integers(min_value=10, max_value=20))
+def test_mvbt_matches_reference_default_config(ops, block):
+    config = MVBTConfig(block_capacity=block, weak_min=2, epsilon=2)
+    queries = [(MIN_KEY, MAX_KEY, MIN_TIME, NOW), (key(3), key(22), 15, 35)]
+    _run_scenario(ops, config, queries)
+
+
+def test_large_random_workload_against_reference():
+    rng = random.Random(42)
+    tree = MVBT(MVBTConfig())
+    ref = ReferenceModel()
+    live = set()
+    time = 0
+    for _ in range(3000):
+        time += rng.randint(0, 2)
+        k = (rng.randint(0, 40), rng.randint(0, 5), rng.randint(0, 5))
+        if k in live and rng.random() < 0.45:
+            tree.delete(k, time)
+            ref.delete(k, time)
+            live.discard(k)
+        elif k not in live:
+            tree.insert(k, time)
+            ref.insert(k, time)
+            live.add(k)
+    tree.check_invariants()
+    for key_low, key_high, t1, t2 in [
+        (MIN_KEY, MAX_KEY, MIN_TIME, NOW),
+        ((10,), (30,), 100, 900),
+        ((0,), (41,), time // 2, time // 2 + 1),
+    ]:
+        got = {
+            k: ps.restrict(Period(t1, t2))
+            for k, ps in collect_validity(tree, key_low, key_high, t1, t2).items()
+        }
+        got = {k: ps for k, ps in got.items() if not ps.is_empty}
+        expected = ref.query(key_low, key_high, t1, t2)
+        expected = {k: ps for k, ps in expected.items() if not ps.is_empty}
+        assert got == expected
+
+
+class TestBulkLoadAndPrefix:
+    def test_bulk_load_intervals(self):
+        tree = MVBT(SMALL)
+        records = [
+            (key(1), 5, 10),
+            (key(2), 7, NOW),
+            (key(1), 12, 20),
+        ]
+        bulk_load(tree, records)
+        got = collect_validity(tree)
+        assert got[key(1)] == PeriodSet([Period(5, 10), Period(12, 20)])
+        assert got[key(2)] == PeriodSet([Period(7, NOW)])
+
+    def test_bulk_load_back_to_back(self):
+        """A value replaced in the same chronon (delete then insert)."""
+        tree = MVBT(SMALL)
+        bulk_load(tree, [(key(1), 5, 10), (key(1), 10, 20)])
+        assert collect_validity(tree)[key(1)] == PeriodSet([Period(5, 20)])
+
+    def test_prefix_range(self):
+        tree = MVBT(SMALL)
+        tree.insert((1, 2, 3), 5)
+        tree.insert((1, 2, 9), 6)
+        tree.insert((1, 3, 1), 7)
+        low, high = prefix_range((1, 2))
+        got = collect_validity(tree, low, high)
+        assert set(got) == {(1, 2, 3), (1, 2, 9)}
+
+    def test_scan_empty_ranges(self):
+        tree = MVBT(SMALL)
+        tree.insert(key(1), 5)
+        assert list(range_interval_scan(tree, key(2), key(2))) == []
+        assert list(range_interval_scan(tree, t1=10, t2=10)) == []

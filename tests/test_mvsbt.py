@@ -1,0 +1,197 @@
+"""Tests for the MVSBT/CMVSBT temporal aggregate indexes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mvsbt import CMVSBT, MVSBT
+
+
+def naive_dominance(points, key, time):
+    return sum(w for k, t, w in points if k <= key and t <= time)
+
+
+@st.composite
+def point_streams(draw):
+    n = draw(st.integers(min_value=0, max_value=120))
+    points = []
+    time = 0
+    for _ in range(n):
+        time += draw(st.integers(min_value=0, max_value=5))
+        points.append((draw(st.integers(min_value=0, max_value=50)), time, 1.0))
+    return points
+
+
+class TestExactMVSBT:
+    def test_empty(self):
+        tree = MVSBT()
+        assert tree.query(100, 100) == 0
+
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(ValueError):
+            MVSBT(node_capacity=2)
+
+    def test_figure5_example(self):
+        """Paper Figure 5: one point (30, 2)."""
+        tree = MVSBT()
+        tree.insert(30, 2)
+        assert tree.query(10, 1) == 0
+        assert tree.query(40, 5) == 1
+        assert tree.query(30, 2) == 1
+        assert tree.query(29, 5) == 0
+        assert tree.query(40, 1) == 0
+
+    def test_time_order_enforced(self):
+        tree = MVSBT()
+        tree.insert(5, 10)
+        with pytest.raises(ValueError):
+            tree.insert(5, 9)
+
+    def test_weights(self):
+        tree = MVSBT()
+        tree.insert(5, 1, weight=2.5)
+        tree.insert(7, 2, weight=0.5)
+        assert tree.query(10, 10) == 3.0
+        assert tree.query(6, 10) == 2.5
+
+    @settings(max_examples=50, deadline=None)
+    @given(point_streams())
+    def test_matches_naive(self, points):
+        tree = MVSBT(node_capacity=8)
+        for k, t, w in points:
+            tree.insert(k, t, w)
+        tree.check_invariants()
+        max_t = max((t for _, t, _ in points), default=0)
+        queries = [(0, 0), (25, max_t // 2), (50, max_t), (100, max_t + 10),
+                   (10, max_t), (50, 0)]
+        for k, t in queries:
+            assert tree.query(k, t) == naive_dominance(points, k, t)
+
+    def test_large_random(self):
+        rng = random.Random(17)
+        points = []
+        time = 0
+        tree = MVSBT(node_capacity=16)
+        for _ in range(2000):
+            time += rng.randint(0, 3)
+            key = rng.randint(0, 300)
+            points.append((key, time, 1.0))
+            tree.insert(key, time)
+        tree.check_invariants()
+        for _ in range(50):
+            k, t = rng.randint(0, 350), rng.randint(0, time)
+            assert tree.query(k, t) == naive_dominance(points, k, t)
+
+
+class TestCMVSBT:
+    def test_tight_at_unit_thresholds(self):
+        """With cm = lm = 1 every split happens at a real point and the
+        CMVSBT estimate tracks the exact MVSBT closely (the residual error
+        comes only from the profile summaries created at node splits)."""
+        rng = random.Random(3)
+        exact = MVSBT(node_capacity=32)
+        compressed = CMVSBT(cm=1, lm=1, node_capacity=32)
+        points = []
+        time = 0
+        for _ in range(300):
+            time += rng.randint(0, 3)
+            key = rng.randint(0, 60)
+            points.append((key, time, 1.0))
+            exact.insert(key, time)
+            compressed.insert(key, time)
+        errors = []
+        for _ in range(100):
+            k, t = rng.randint(0, 70), rng.randint(0, time)
+            want = naive_dominance(points, k, t)
+            assert exact.query(k, t) == want
+            errors.append(abs(compressed.estimate(k, t) - want))
+        assert sum(errors) / len(errors) < 0.02 * len(points)
+        assert max(errors) < 0.12 * len(points)
+
+    def test_estimates_close_to_exact(self):
+        """Compression keeps estimates within a reasonable relative error."""
+        rng = random.Random(5)
+        compressed = CMVSBT(cm=8, lm=8, node_capacity=32)
+        points = []
+        time = 0
+        for _ in range(3000):
+            time += rng.randint(0, 2)
+            key = rng.randint(0, 500)
+            points.append((key, time, 1.0))
+            compressed.insert(key, time)
+        errors = []
+        for _ in range(100):
+            k, t = rng.randint(100, 600), rng.randint(time // 4, time)
+            want = naive_dominance(points, k, t)
+            got = compressed.estimate(k, t)
+            if want >= 50:
+                errors.append(abs(got - want) / want)
+        assert errors, "no large-answer queries sampled"
+        assert sum(errors) / len(errors) < 0.15
+
+    def test_compression_saves_entries(self):
+        rng = random.Random(9)
+        exact = MVSBT(node_capacity=32)
+        compressed = CMVSBT(cm=16, lm=16, node_capacity=32)
+        time = 0
+        for _ in range(2000):
+            time += rng.randint(0, 2)
+            key = rng.randint(0, 300)
+            exact.insert(key, time)
+            compressed.insert(key, time)
+        assert compressed.entry_count() < exact.entry_count() / 3
+
+    def test_monotone_in_key_and_time(self):
+        rng = random.Random(11)
+        compressed = CMVSBT(cm=4, lm=4)
+        time = 0
+        for _ in range(500):
+            time += rng.randint(0, 2)
+            compressed.insert(rng.randint(0, 100), time)
+        previous = 0.0
+        for k in range(0, 120, 10):
+            value = compressed.estimate(k, time)
+            assert value >= previous - 1e-9
+            previous = value
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ValueError):
+            CMVSBT(cm=0)
+
+
+class TestHistogramStatPair:
+    def test_count_alive_matches_naive(self):
+        from repro.mvsbt.histogram import _StatPair
+        from repro.model.time import NOW
+
+        rng = random.Random(23)
+        records = []
+        for _ in range(600):
+            key = rng.randint(0, 20)
+            start = rng.randint(0, 900)
+            end = start + rng.randint(1, 300)
+            if rng.random() < 0.2:
+                end = NOW
+            records.append((key, start, end))
+        pair = _StatPair(cm=1, lm=1)
+        for key, start, end in records:
+            pair.add(key, start, end)
+        pair.seal()
+        errors = []
+        for _ in range(60):
+            k1 = rng.randint(-1, 19)
+            k2 = rng.randint(k1 + 1, 21)
+            t1 = rng.randint(0, 900)
+            t2 = t1 + rng.randint(1, 400)
+            want = sum(
+                1
+                for key, start, end in records
+                if k1 < key <= k2 and start < t2 and end > t1
+            )
+            errors.append(abs(pair.count_alive(k1, k2, t1, t2) - want))
+        # Windowed range counts stay tight (they are differences of four
+        # dominance estimates, so errors can compound slightly).
+        assert sum(errors) / len(errors) < 0.03 * len(records)
+        assert max(errors) < 0.15 * len(records)

@@ -1,0 +1,189 @@
+"""Tests for the query optimizer: statistics, cost model, DP ordering."""
+
+import pytest
+
+from repro.datasets import wikipedia
+from repro.engine import RDFTX
+from repro.engine.patterns import translate_pattern
+from repro.engine.plan import PlanGraph
+from repro.model import TemporalGraph
+from repro.model.time import MIN_TIME, NOW
+from repro.mvsbt.histogram import CharacteristicSets, TemporalHistogram
+from repro.optimizer import (
+    Optimizer,
+    Statistics,
+    enumerate_orders,
+    estimate_order_cost,
+    optimize,
+)
+from repro.sparqlt import parse
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return wikipedia.generate(3000, seed=13)
+
+
+@pytest.fixture(scope="module")
+def stats(dataset):
+    # A toy graph cannot reach the paper's 10% space budget (the histogram
+    # has a size floor); give it room so estimates stay meaningful.
+    return Statistics.build(dataset.graph, cm=4, lm=4, budget_fraction=2.0)
+
+
+def build_graph(engine_or_graph, text):
+    query = parse(text)
+    graph = engine_or_graph
+    conjuncts = query.filter_conjuncts()
+    patterns = [
+        translate_pattern(p, graph.dictionary, conjuncts)
+        for p in query.patterns
+    ]
+    return PlanGraph.build(query, patterns)
+
+
+class TestCharacteristicSets:
+    def test_paper_example(self):
+        """Subjects with the same predicates share a characteristic set."""
+        g = TemporalGraph()
+        g.add("UC", "president", "a", 1, 10)
+        g.add("UC", "undergraduate", "x", 1, 10)
+        g.add("UM", "president", "b", 1, 10)
+        g.add("UM", "undergraduate", "y", 1, 10)
+        g.add("Lonely", "motto", "z", 1, 10)
+        charsets = CharacteristicSets.from_graph(g)
+        assert len(charsets) == 2
+        uc = charsets.of_subject[g.dictionary.lookup("UC")]
+        um = charsets.of_subject[g.dictionary.lookup("UM")]
+        assert uc == um
+
+    def test_with_predicate_index(self):
+        g = TemporalGraph()
+        g.add("A", "p", "1", 1, 5)
+        g.add("B", "q", "1", 1, 5)
+        charsets = CharacteristicSets.from_graph(g)
+        pid = g.dictionary.lookup("p")
+        assert len(charsets.with_predicate[pid]) == 1
+
+
+class TestHistogram:
+    def test_budget_pressure_coarsens(self, dataset):
+        """A tight budget doubles the thresholds and shrinks the histogram
+        (small graphs cannot always reach the paper's 8.5% because the
+        charset schema and side tables put a floor under the size)."""
+        loose = TemporalHistogram(cm=2, lm=2, budget_fraction=10.0)
+        loose.build(dataset.graph)
+        tight = TemporalHistogram(cm=2, lm=2, budget_fraction=0.02)
+        tight.build(dataset.graph)
+        assert tight.cm > loose.cm
+        assert tight.sizeof() <= loose.sizeof()
+
+    def test_subject_counts_roughly_correct(self, dataset):
+        histogram = TemporalHistogram(cm=4, lm=4, budget_fraction=0.2)
+        histogram.build(dataset.graph)
+        total_subjects = dataset.graph.distinct_subjects()
+        estimate = sum(
+            histogram.subjects_alive(cs, MIN_TIME, NOW)
+            for cs in range(len(histogram.charsets))
+        )
+        assert estimate == pytest.approx(total_subjects, rel=0.1)
+
+    def test_occurrences_roughly_correct(self, dataset):
+        histogram = TemporalHistogram(cm=4, lm=4, budget_fraction=0.2)
+        histogram.build(dataset.graph)
+        estimate = histogram.triples_alive(MIN_TIME, NOW)
+        assert estimate == pytest.approx(len(dataset.graph), rel=0.1)
+
+
+class TestStatistics:
+    def test_paper_characteristic_set_formula(self):
+        """The Section 6.1 worked example: 100 subjects, occurrences 150 and
+        110 give a star estimate of 165."""
+        g = TemporalGraph()
+        for i in range(100):
+            subject = f"uni_{i}"
+            for copy in range(2 if i < 50 else 1):  # 150 president triples
+                g.add(subject, "president", f"p{i}_{copy}", 1 + copy * 10,
+                      5 + copy * 10)
+            for copy in range(2 if i < 10 else 1):  # 110 undergrad triples
+                g.add(subject, "undergraduate", f"u{i}_{copy}",
+                      1 + copy * 10, 5 + copy * 10)
+        stats = Statistics.build(g, cm=1, lm=1, budget_fraction=10.0)
+        pid1 = g.dictionary.lookup("president")
+        pid2 = g.dictionary.lookup("undergraduate")
+        estimate = stats.star_join_cardinality([pid1, pid2], MIN_TIME, NOW)
+        assert estimate == pytest.approx(165.0, rel=0.05)
+
+    def test_pattern_estimates_track_reality(self, dataset, stats):
+        engine = RDFTX.from_graph(dataset.graph)
+        for text in (
+            "SELECT ?s ?o {?s club ?o ?t}",
+            "SELECT ?s ?o {?s gdp ?o ?t}",
+        ):
+            graph = build_graph(dataset.graph, text)
+            estimate = stats.pattern_cardinality(graph.patterns[0])
+            actual = len(engine.query(text))
+            assert estimate == pytest.approx(actual, rel=0.5)
+
+    def test_cache(self, dataset, stats):
+        stats.clear_cache()
+        graph = build_graph(dataset.graph, "SELECT ?s ?o {?s club ?o ?t}")
+        first = stats.pattern_cardinality(graph.patterns[0])
+        assert stats.pattern_cardinality(graph.patterns[0]) == first
+        assert len(stats._cache) == 1
+
+
+class TestDP:
+    def test_single_pattern(self, dataset, stats):
+        graph = build_graph(dataset.graph, "SELECT ?s ?o {?s club ?o ?t}")
+        order, cost = optimize(graph, stats)
+        assert order == [0]
+
+    def test_order_is_permutation(self, dataset, stats):
+        text = (
+            "SELECT ?s {?s population ?a ?t . ?s mayor ?b ?t . "
+            "?s area ?c ?t . ?s country ?d ?t}"
+        )
+        graph = build_graph(dataset.graph, text)
+        order, cost = optimize(graph, stats)
+        assert sorted(order) == [0, 1, 2, 3]
+        assert cost > 0
+
+    def test_dp_at_least_as_good_as_exhaustive(self, dataset, stats):
+        """The DP plan's estimated cost matches the best left-deep order."""
+        text = (
+            "SELECT ?s {?s population ?a ?t . ?s mayor ?b ?t . "
+            "?s area ?c ?t}"
+        )
+        graph = build_graph(dataset.graph, text)
+        order, cost = optimize(graph, stats)
+        best = min(
+            estimate_order_cost(graph, stats, o)
+            for o in enumerate_orders(graph, stats)
+        )
+        assert cost <= best * 1.01
+
+    def test_engine_with_optimizer_agrees(self, dataset):
+        plain = RDFTX.from_graph(dataset.graph)
+        optimized = RDFTX.from_graph(dataset.graph, optimizer=Optimizer(cm=4, lm=4))
+        text = (
+            "SELECT ?s ?a ?b {?s population ?a ?t . ?s mayor ?b ?t . "
+            "FILTER(YEAR(?t) = 2012)}"
+        )
+        rows_plain = sorted(map(repr, plain.query(text)))
+        rows_opt = sorted(map(repr, optimized.query(text)))
+        assert rows_plain == rows_opt
+
+    def test_optimizer_prefers_selective_anchor(self, dataset, stats):
+        """A constant-object pattern should be joined before a huge scan."""
+        triple = next(iter(dataset.graph))
+        decode = dataset.graph.dictionary.decode
+        subject = decode(triple.subject)
+        predicate = decode(triple.predicate)
+        obj = decode(triple.object)
+        text = (
+            f"SELECT ?s ?o {{?s ?p ?o ?t . ?s {predicate} {obj} ?t}}"
+        )
+        graph = build_graph(dataset.graph, text)
+        order, _ = optimize(graph, stats)
+        assert order[0] == 1  # the selective pattern leads

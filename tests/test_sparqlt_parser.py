@@ -1,0 +1,177 @@
+"""Tests for the SPARQLT lexer and parser."""
+
+import pytest
+
+from repro.model.time import date_to_chronon
+from repro.sparqlt import (
+    And,
+    Compare,
+    FuncCall,
+    LexError,
+    Literal,
+    Not,
+    Or,
+    ParseError,
+    TermConst,
+    TimeConst,
+    Var,
+    parse,
+    parse_expression,
+    tokenize,
+)
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize("SELECT ?t { a b c ?t }")]
+        assert kinds == [
+            "KEYWORD",
+            "VAR",
+            "PUNCT",
+            "IDENT",
+            "IDENT",
+            "IDENT",
+            "VAR",
+            "PUNCT",
+            "EOF",
+        ]
+
+    def test_dates(self):
+        tokens = tokenize("2013-01-05 09/30/2013")
+        assert [t.kind for t in tokens[:-1]] == ["DATE_ISO", "DATE_US"]
+
+    def test_operators(self):
+        tokens = tokenize("<= >= != = < > && || !")
+        assert all(t.kind == "OP" for t in tokens[:-1])
+
+    def test_functions_case_insensitive(self):
+        tokens = tokenize("year(?t) TSTART(?t)")
+        assert tokens[0].kind == "FUNC" and tokens[0].text == "YEAR"
+        assert tokens[4].kind == "FUNC" and tokens[4].text == "TSTART"
+
+    def test_string_literal(self):
+        token = tokenize('"University of California"')[0]
+        assert token.kind == "STRING"
+
+    def test_garbage_raises(self):
+        with pytest.raises(LexError):
+            tokenize("SELECT @t")
+
+
+class TestParser:
+    def test_example_1_when_query(self):
+        """Paper Example 1."""
+        q = parse(
+            "SELECT ?t "
+            "{University_of_California president Janet_Napolitano ?t}"
+        )
+        assert q.select == ["t"]
+        (p,) = q.patterns
+        assert p.subject == TermConst("University_of_California")
+        assert p.predicate == TermConst("president")
+        assert p.object == TermConst("Janet_Napolitano")
+        assert p.time == Var("t")
+        assert p.constant_positions() == "SPO"
+
+    def test_example_2_filter(self):
+        """Paper Example 2."""
+        q = parse(
+            "SELECT ?budget "
+            "{University_of_California budget ?budget ?t . "
+            "FILTER(YEAR(?t) = 2013) }"
+        )
+        assert len(q.patterns) == 1
+        (f,) = q.filters
+        assert f == Compare("=", FuncCall("YEAR", Var("t")), Literal(2013, "number"))
+
+    def test_example_3_duration(self):
+        """Paper Example 3: LENGTH with a duration literal."""
+        q = parse(
+            "SELECT ?person ?t "
+            "{ University_of_California president ?person ?t . "
+            "FILTER(YEAR(?t) <= 2010 && LENGTH(?t) > 365 DAY)}"
+        )
+        (f,) = q.filters
+        assert isinstance(f, And)
+        assert f.right == Compare(
+            ">", FuncCall("LENGTH", Var("t")), Literal(365, "duration")
+        )
+
+    def test_example_4_temporal_join(self):
+        """Paper Example 4: shared temporal variable."""
+        q = parse(
+            "SELECT ?university ?number ?t "
+            "{?university undergraduate ?number ?t . "
+            "?university president Mark_Yudof ?t . }"
+        )
+        assert len(q.patterns) == 2
+        assert q.patterns[0].variables() == {"university", "number", "t"}
+        assert q.patterns[1].variables() == {"university", "t"}
+
+    def test_example_5_succession(self):
+        """Paper Example 5: TEND(?t1) = TSTART(?t2)."""
+        q = parse(
+            "SELECT ?successor "
+            "{ University_of_California president Mark_Yudof ?t1 . "
+            "University_of_California president ?successor ?t2 . "
+            "FILTER(TEND(?t1) = TSTART(?t2)) . }"
+        )
+        (f,) = q.filters
+        assert f == Compare(
+            "=", FuncCall("TEND", Var("t1")), FuncCall("TSTART", Var("t2"))
+        )
+
+    def test_time_constant_pattern(self):
+        q = parse("SELECT ?o {UC budget ?o 2013-05-01}")
+        (p,) = q.patterns
+        assert p.time == TimeConst(date_to_chronon("2013-05-01"))
+        assert p.constant_positions() == "SPT"
+
+    def test_where_keyword_optional(self):
+        q = parse("SELECT ?o WHERE {UC budget ?o ?t}")
+        assert len(q.patterns) == 1
+
+    def test_duration_units(self):
+        expr = parse_expression("LENGTH(?t) > 2 YEAR")
+        assert expr.right == Literal(730, "duration")
+        expr = parse_expression("LENGTH(?t) >= 3 MONTH")
+        assert expr.right == Literal(90, "duration")
+
+    def test_year_as_function_not_unit(self):
+        expr = parse_expression("YEAR(?t) = 2013")
+        assert expr.left == FuncCall("YEAR", Var("t"))
+
+    def test_boolean_precedence(self):
+        expr = parse_expression("?a = 1 || ?b = 2 && ?c = 3")
+        # AND binds tighter than OR.
+        assert isinstance(expr, Or)
+        assert isinstance(expr.right, And)
+
+    def test_negation(self):
+        expr = parse_expression("!(?a = 1)")
+        assert isinstance(expr, Not)
+
+    def test_parenthesized(self):
+        expr = parse_expression("(?a = 1 || ?b = 2) && ?c = 3")
+        assert isinstance(expr, And)
+        assert isinstance(expr.left, Or)
+
+    def test_date_comparison(self):
+        expr = parse_expression("?t <= 01/01/2013")
+        assert expr.right == Literal(date_to_chronon("2013-01-01"), "date")
+
+    def test_string_object(self):
+        q = parse('SELECT ?t {UC motto "Fiat Lux" ?t}')
+        assert q.patterns[0].object == TermConst("Fiat Lux")
+
+    def test_errors(self):
+        with pytest.raises(ParseError):
+            parse("SELECT {UC a b ?t}")  # no select vars
+        with pytest.raises(ParseError):
+            parse("SELECT ?t {UC a b ?t")  # missing brace
+        with pytest.raises(ParseError):
+            parse("SELECT ?t { }")  # no pattern
+        with pytest.raises(ParseError):
+            parse("SELECT ?t {UC a b 42}")  # bad time term
+        with pytest.raises(ParseError):
+            parse("SELECT ?t {UC a b ?t} extra")
