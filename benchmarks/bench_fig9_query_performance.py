@@ -20,7 +20,7 @@ from repro.bench.experiments import (
     experiment_fig9_complex,
     experiment_fig9_sweep,
 )
-from repro.bench.harness import format_table, report
+from repro.bench.harness import RESULTS_DIR, format_table, report
 
 FIGURES = {
     ("wikipedia", "selection"): "9a",
@@ -36,7 +36,8 @@ FIGURES = {
     ids=[f"fig{v}_{d}_{k}" for (d, k), v in FIGURES.items()],
 )
 def test_fig9_sweeps(figure, dataset, kind):
-    header, rows = figure(experiment_fig9_sweep, dataset, kind)
+    header, rows = figure(experiment_fig9_sweep, dataset, kind,
+                          profile_dir=RESULTS_DIR)
     fig = FIGURES[(dataset, kind)]
     table = format_table(
         f"Figure {fig} — Temporal {kind} in {dataset} (ms/query)",
@@ -57,7 +58,8 @@ def test_fig9_sweeps(figure, dataset, kind):
 @pytest.mark.parametrize("dataset", ["wikipedia", "govtrack"],
                          ids=["fig9c_wikipedia", "fig9f_govtrack"])
 def test_fig9_complex(figure, dataset):
-    header, rows, n = figure(experiment_fig9_complex, dataset)
+    header, rows, n = figure(experiment_fig9_complex, dataset,
+                             profile_dir=RESULTS_DIR)
     fig = "9c" if dataset == "wikipedia" else "9f"
     table = format_table(
         f"Figure {fig} — Complex queries in {dataset} (N={n}, ms/query)",

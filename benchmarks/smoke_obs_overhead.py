@@ -1,0 +1,92 @@
+"""Smoke check: the observability layer is near-free when switched off.
+
+Runs a small selection + join workload twice — once with the metrics
+registry enabled, once with it disabled via ``repro.obs.set_enabled`` —
+and asserts the enabled/disabled ratio stays within noise.  This is the
+guard behind the ``REPRO_OBS=0`` kill switch: with instrumentation off,
+query timings must match the pre-observability engine (the acceptance
+bar in CI is deliberately loose because shared runners are noisy; the
+<3% bound is checked locally against fig9 results).
+
+Run directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/smoke_obs_overhead.py
+
+Exits nonzero when the overhead ratio exceeds the threshold.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+# Allow running from the repo root without an installed package.
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.experiments import BENCH_CONFIG  # noqa: E402
+from repro.bench.harness import scaled  # noqa: E402
+from repro.datasets import wikipedia  # noqa: E402
+from repro.engine import RDFTX  # noqa: E402
+from repro.datasets.queries import (  # noqa: E402
+    join_queries,
+    selection_queries,
+)
+from repro.obs import REGISTRY, set_enabled  # noqa: E402
+
+#: Enabled/disabled ratio allowed before the check fails.  The metrics
+#: layer batches counter updates per operator, so the true overhead is a
+#: few percent; the threshold leaves room for scheduler noise on CI.
+MAX_RATIO = float(os.environ.get("OBS_OVERHEAD_MAX_RATIO", "1.25"))
+
+REPEATS = int(os.environ.get("OBS_OVERHEAD_REPEATS", "5"))
+
+
+def _workload():
+    graph = wikipedia.generate(scaled(6000), seed=1).graph
+    engine = RDFTX.from_graph(graph, config=BENCH_CONFIG)
+    queries = selection_queries(graph, count=5) + join_queries(graph, count=5)
+    return engine, queries
+
+
+def _time_once(engine, queries) -> float:
+    start = time.perf_counter()
+    for text in queries:
+        engine.query(text)
+    return time.perf_counter() - start
+
+
+def _best_of(engine, queries, repeats: int) -> float:
+    # Best-of-N is far more stable than the mean on noisy runners.
+    return min(_time_once(engine, queries) for _ in range(repeats))
+
+
+def main() -> int:
+    engine, queries = _workload()
+    _time_once(engine, queries)  # warm caches once for both arms
+
+    previous = set_enabled(True)
+    try:
+        on = _best_of(engine, queries, REPEATS)
+        set_enabled(False)
+        off = _best_of(engine, queries, REPEATS)
+    finally:
+        set_enabled(previous)
+
+    ratio = on / off if off else float("inf")
+    print(f"obs on : {on * 1000:8.2f} ms")
+    print(f"obs off: {off * 1000:8.2f} ms")
+    print(f"ratio  : {ratio:.3f} (limit {MAX_RATIO})")
+    snapshot = REGISTRY.snapshot()
+    probes = sum(len(v) for v in snapshot.values())
+    print(f"probes : {probes} metrics registered")
+    if ratio > MAX_RATIO:
+        print("FAIL: instrumentation overhead exceeds the threshold",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 """Benchmark harness: scaling, timing, sizing, per-figure experiments."""
 
 from .harness import (
+    archive_profiles,
     format_table,
     mb,
     report,
@@ -11,6 +12,7 @@ from .harness import (
 )
 
 __all__ = [
+    "archive_profiles",
     "format_table",
     "mb",
     "report",

@@ -137,12 +137,20 @@ def _systems_for(graph):
     return systems
 
 
-def experiment_fig9_sweep(dataset: str, kind: str, repeats: int = 3):
+def experiment_fig9_sweep(dataset: str, kind: str, repeats: int = 3,
+                          profile_dir=None):
     """Figures 9(a)(b)(d)(e): selection/join sweeps on Wikipedia/GovTrack.
 
     Returns ``(header, rows)`` where each row is
     ``(N, time_per_system...)`` in milliseconds per query.
+
+    With ``profile_dir`` (and ``REPRO_OBS`` on), RDF-TX's per-query
+    operator profiles at each N are archived there as JSON, next to the
+    printed tables.
     """
+    from ..obs import metrics as _obs_metrics
+    from .harness import archive_profiles
+
     maker = {"wikipedia": _wiki, "govtrack": _gov, "yago": _yago}[dataset]
     bases = (2000, 4000, 8000, 16000)
     rows = []
@@ -161,12 +169,28 @@ def experiment_fig9_sweep(dataset: str, kind: str, repeats: int = 3):
         timings = [n]
         for _, system in systems:
             timings.append(round(time_queries(system, queries, repeats), 3))
+        if profile_dir is not None and _obs_metrics.ENABLED:
+            from pathlib import Path
+
+            archive_profiles(
+                systems[0][1], queries,
+                Path(profile_dir) / f"fig9_{dataset}_{kind}_n{n}_profiles.json",
+            )
         rows.append(tuple(timings))
     return header, rows
 
 
-def experiment_fig9_complex(dataset: str, repeats: int = 3):
-    """Figures 9(c)(f): complex queries with 3-7 patterns at fixed N."""
+def experiment_fig9_complex(dataset: str, repeats: int = 3,
+                            profile_dir=None):
+    """Figures 9(c)(f): complex queries with 3-7 patterns at fixed N.
+
+    With ``profile_dir`` (and ``REPRO_OBS`` on), RDF-TX's operator
+    profiles — including estimate-vs-actual q-errors from the CMVSBT
+    histogram — are archived there per pattern count.
+    """
+    from ..obs import metrics as _obs_metrics
+    from .harness import archive_profiles
+
     maker = _wiki if dataset == "wikipedia" else _gov
     n = scaled(12000)
     graph = maker(n).graph
@@ -185,6 +209,14 @@ def experiment_fig9_complex(dataset: str, repeats: int = 3):
         timings = [size]
         for _, system in systems:
             timings.append(round(time_queries(system, queries, repeats), 3))
+        if profile_dir is not None and _obs_metrics.ENABLED:
+            from pathlib import Path
+
+            archive_profiles(
+                systems[0][1], queries,
+                Path(profile_dir)
+                / f"fig9_{dataset}_complex_p{size}_profiles.json",
+            )
         rows.append(tuple(timings))
     return header, rows, n
 

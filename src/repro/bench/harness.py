@@ -5,10 +5,18 @@ dataset sizes by it; tables print the actual N next to the paper's N so the
 scale substitution stays visible.  Results are printed and also appended to
 ``bench_results/`` so ``pytest benchmarks/ --benchmark-only`` leaves an
 artifact trail.
+
+Observability: timings run with whatever ``REPRO_OBS`` says — the default
+(on) keeps the global metrics registry live, and ``REPRO_OBS=0`` turns
+every probe into a no-op for instrumentation-free numbers.  Pass
+``profile_out`` to :func:`time_queries` / :func:`time_callable` to archive
+JSON operator profiles (or a registry-delta snapshot) next to the result
+tables.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from pathlib import Path
@@ -29,29 +37,96 @@ def scaled(base: int, minimum: int = 200) -> int:
 
 
 def time_callable(fn: Callable[[], object], repeats: int = 3,
-                  warmup: int = 1) -> float:
+                  warmup: int = 1,
+                  profile_out: str | Path | None = None) -> float:
     """Average wall-clock seconds of ``fn`` over ``repeats`` warm runs.
 
     Matches the paper's methodology: warm-cache, averaged over several runs
     (the paper uses 5; the default here is 3 to keep the full matrix fast —
     raise via the ``repeats`` argument).
+
+    With ``profile_out``, the delta of the global metrics registry across
+    the timed runs is written there as JSON alongside the timing (empty
+    when ``REPRO_OBS=0``).
     """
     for _ in range(warmup):
         fn()
+    before = None
+    if profile_out is not None:
+        from ..obs import REGISTRY
+
+        before = REGISTRY.snapshot()
     start = time.perf_counter()
     for _ in range(repeats):
         fn()
-    return (time.perf_counter() - start) / repeats
+    elapsed = (time.perf_counter() - start) / repeats
+    if profile_out is not None:
+        from ..obs import REGISTRY
+
+        payload = {
+            "seconds_per_run": elapsed,
+            "repeats": repeats,
+            "registry_delta": _snapshot_delta(before, REGISTRY.snapshot()),
+        }
+        Path(profile_out).write_text(json.dumps(payload, indent=2))
+    return elapsed
 
 
-def time_queries(system, queries: Sequence[str], repeats: int = 3) -> float:
-    """Average per-query time (ms) of a query set on one system."""
+def time_queries(system, queries: Sequence[str], repeats: int = 3,
+                 profile_out: str | Path | None = None) -> float:
+    """Average per-query time (ms) of a query set on one system.
+
+    With ``profile_out``, each query is re-run once with profiling after
+    the timed loop and the operator trees are archived there as JSON (see
+    :func:`archive_profiles`); systems without profiling support — the
+    baselines — write an empty list.
+    """
     def run_all():
         for text in queries:
             system.query(text)
 
     total = time_callable(run_all, repeats=repeats)
+    if profile_out is not None:
+        archive_profiles(system, queries, profile_out)
     return total / max(len(queries), 1) * 1000.0
+
+
+def archive_profiles(system, queries: Sequence[str],
+                     path: str | Path) -> int:
+    """Run each query once with profiling on and dump the operator trees.
+
+    Returns the number of profiles written.  Systems whose ``query`` does
+    not accept a ``profile`` keyword (the baselines) and runs under
+    ``REPRO_OBS=0`` produce an empty archive.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    profiles: list = []
+    for text in queries:
+        try:
+            result = system.query(text, profile=True)
+        except TypeError:
+            break
+        prof = getattr(result, "profile", None)
+        profiles.append(prof.to_dict() if prof is not None else None)
+    path.write_text(json.dumps(profiles, indent=2))
+    return len([p for p in profiles if p is not None])
+
+
+def _snapshot_delta(before: dict, after: dict) -> dict:
+    """Recursive numeric difference of two registry snapshots."""
+    out: dict = {}
+    for key, value in after.items():
+        prev = before.get(key, 0 if not isinstance(value, dict) else {})
+        if isinstance(value, dict):
+            inner = _snapshot_delta(prev, value)
+            if inner:
+                out[key] = inner
+        else:
+            delta = value - prev
+            if delta:
+                out[key] = delta
+    return out
 
 
 def format_table(

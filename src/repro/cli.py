@@ -5,7 +5,13 @@ Subcommands::
     repro-tx info DATASET.tnq              dataset statistics
     repro-tx query DATASET.tnq 'SELECT …'  run a SPARQLT query
     repro-tx shell DATASET.tnq             interactive SPARQLT shell
+    repro-tx stats DATASET.tnq             metrics registry report
     repro-tx generate KIND N OUT.tnq       write a synthetic dataset
+
+``query --analyze`` prints an EXPLAIN ANALYZE-style operator tree with
+estimated vs. actual rows and per-operator timings; ``stats`` renders the
+global metrics registry (``repro.obs``) after loading and optionally
+querying.  ``REPRO_OBS=0`` disables all instrumentation.
 
 ``DATASET`` files use the temporal N-Quads format (see ``repro.io``);
 ``.gz`` paths are compressed transparently.
@@ -39,6 +45,9 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("sparqlt", help="the SPARQLT query text")
     query.add_argument("--explain", action="store_true",
                        help="print the query plan")
+    query.add_argument("--analyze", action="store_true",
+                       help="profile the execution: print the operator tree "
+                            "with estimated/actual rows and timings")
     query.add_argument("--no-optimizer", action="store_true",
                        help="disable the cost-based optimizer")
     query.add_argument("--time", action="store_true",
@@ -47,6 +56,21 @@ def build_parser() -> argparse.ArgumentParser:
     shell = sub.add_parser("shell", help="interactive SPARQLT shell")
     shell.add_argument("dataset")
     shell.add_argument("--no-optimizer", action="store_true")
+    shell.add_argument("--time", action="store_true",
+                       help="print per-statement execution time")
+
+    stats = sub.add_parser(
+        "stats",
+        help="load a dataset (optionally run queries) and print the "
+             "global metrics registry",
+    )
+    stats.add_argument("dataset")
+    stats.add_argument("--sparqlt", action="append", default=[],
+                       metavar="QUERY",
+                       help="run a query before reporting (repeatable)")
+    stats.add_argument("--json", action="store_true",
+                       help="JSON instead of text rendering")
+    stats.add_argument("--no-optimizer", action="store_true")
 
     generate = sub.add_parser("generate", help="write a synthetic dataset")
     generate.add_argument("kind", choices=("wikipedia", "govtrack", "yago"))
@@ -91,7 +115,7 @@ def cmd_query(args) -> int:
             print(engine.explain(args.sparqlt))
             print()
         start = time.perf_counter()
-        result = engine.query(args.sparqlt)
+        result = engine.query(args.sparqlt, profile=args.analyze)
         elapsed = (time.perf_counter() - start) * 1000
     except SparqltError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -101,15 +125,43 @@ def cmd_query(args) -> int:
     if args.time:
         print(f" in {elapsed:.2f} ms", end="")
     print()
+    if args.analyze:
+        print()
+        if result.profile is not None:
+            print(result.profile.render())
+        else:
+            from .obs import metrics as _obs_metrics
+
+            reason = ("REPRO_OBS=0" if not _obs_metrics.ENABLED
+                      else "no profile recorded")
+            print(f"(profiling disabled: {reason})")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from .obs import REGISTRY
+
+    engine = _load_engine(args.dataset, not args.no_optimizer)
+    for text in args.sparqlt:
+        try:
+            engine.query(text)
+        except SparqltError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+    print(REGISTRY.render_json() if args.json else REGISTRY.render_text())
     return 0
 
 
 def cmd_shell(args) -> int:
+    from .obs import metrics as _obs_metrics
+
     engine = _load_engine(args.dataset, not args.no_optimizer)
     print(f"RDF-TX shell — {args.dataset} loaded "
           f"({sum(t.live_records for t in engine.indexes.values()) // 4} "
           f"live facts). Type .help for commands.")
     explain = False
+    analyze = False
+    timing = args.time
     buffer: list[str] = []
     while True:
         prompt = "... " if buffer else "tx> "
@@ -125,10 +177,22 @@ def cmd_shell(args) -> int:
             if stripped == ".help":
                 print(".quit        leave the shell\n"
                       ".explain     toggle plan printing\n"
+                      ".time        toggle per-statement timing\n"
+                      ".analyze     toggle operator profiles "
+                      "(EXPLAIN ANALYZE)\n"
                       "end a query with an empty line or ';'")
             elif stripped == ".explain":
                 explain = not explain
                 print(f"explain {'on' if explain else 'off'}")
+            elif stripped == ".time":
+                timing = not timing
+                print(f"timing {'on' if timing else 'off'}")
+            elif stripped == ".analyze":
+                analyze = not analyze
+                if analyze and not _obs_metrics.ENABLED:
+                    print("analyze on (but REPRO_OBS=0: profiles disabled)")
+                else:
+                    print(f"analyze {'on' if analyze else 'off'}")
             else:
                 print(f"unknown command {stripped!r}")
             continue
@@ -144,9 +208,16 @@ def cmd_shell(args) -> int:
         try:
             if explain:
                 print(engine.explain(text))
-            result = engine.query(text)
+            start = time.perf_counter()
+            result = engine.query(text, profile=analyze)
+            elapsed = (time.perf_counter() - start) * 1000
             print(result.to_table())
-            print(f"{len(result)} row(s)")
+            summary = f"{len(result)} row(s)"
+            if timing:
+                summary += f" in {elapsed:.2f} ms"
+            print(summary)
+            if analyze and result.profile is not None:
+                print(result.profile.render())
         except SparqltError as error:
             print(f"error: {error}")
 
@@ -171,9 +242,18 @@ def main(argv: list[str] | None = None) -> int:
         "info": cmd_info,
         "query": cmd_query,
         "shell": cmd_shell,
+        "stats": cmd_stats,
         "generate": cmd_generate,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error,
+        # but keep Python from flushing to the dead pipe at shutdown.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

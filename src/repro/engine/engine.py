@@ -8,17 +8,23 @@ Engine).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable
 
 from ..model.graph import TemporalGraph
 from ..model.time import NOW, PeriodSet, format_chronon
 from ..mvbt.tree import MVBT, MVBTConfig, bulk_load
+from ..obs import metrics as _metrics
+from ..obs.profile import ProfileNode, QueryProfile
 from ..sparqlt.ast import Query
 from ..sparqlt.parser import parse
 from .executor import default_order, execute
 from .patterns import INDEX_ORDERS, PatternPlan, UnknownTermError, translate_pattern
 from .plan import PlanGraph
+
+_QUERIES = _metrics.counter("engine.queries")
+_QUERY_TIMER = _metrics.REGISTRY.timer_stat("engine.query")
 
 
 @dataclass
@@ -32,6 +38,9 @@ class QueryResult:
 
     variables: list[str]
     rows: list[dict] = field(default_factory=list)
+    #: operator-level profile, set by ``RDFTX.query(..., profile=True)``
+    #: (None when profiling was off or disabled via ``REPRO_OBS=0``).
+    profile: QueryProfile | None = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -48,17 +57,22 @@ class QueryResult:
 
     def to_table(self) -> str:
         """Render the result as an aligned text table."""
+        if not self.variables:
+            # ASK-style / empty projection: nothing to lay out, and the
+            # widths computation below must not see zero columns.
+            return f"({len(self.rows)} row(s), no variables)"
         header = [f"?{name}" for name in self.variables]
         body = [
             [_render(row.get(name)) for name in self.variables]
             for row in self.rows
         ]
-        widths = [
-            max(len(header[i]), *(len(r[i]) for r in body), 1)
-            if body
-            else len(header[i])
-            for i in range(len(header))
-        ]
+        widths = []
+        for i in range(len(header)):
+            width = len(header[i])
+            for row in body:
+                if len(row[i]) > width:
+                    width = len(row[i])
+            widths.append(width)
         lines = [
             "  ".join(h.ljust(w) for h, w in zip(header, widths)),
             "  ".join("-" * w for w in widths),
@@ -204,10 +218,23 @@ class RDFTX:
         self._plan_cache[cache_key] = (graph, order)
         return graph, order
 
-    def query(self, text: str | Query) -> QueryResult:
-        """Evaluate a SPARQLT query and return its result rows."""
+    def query(self, text: str | Query, profile: bool = False) -> QueryResult:
+        """Evaluate a SPARQLT query and return its result rows.
+
+        With ``profile=True`` (and observability enabled, see
+        ``REPRO_OBS``), the result carries a
+        :class:`~repro.obs.profile.QueryProfile`: per-operator timings and
+        row counts, index scan counters, and — when the optimizer is on —
+        estimated vs. actual cardinalities with per-pattern q-errors.
+        """
         query = parse(text) if isinstance(text, str) else text
         from .operators import project
+
+        want_profile = profile and _metrics.ENABLED
+        prof_root = ProfileNode(op="execute") if want_profile else None
+        started = time.perf_counter()
+        if _metrics.ENABLED:
+            _QUERIES.inc()
 
         if not query.is_simple:
             # UNION / OPTIONAL groups take the algebraic path.
@@ -220,19 +247,70 @@ class RDFTX:
             )
             rows = execute_group(
                 query.group, self.indexes, self.dictionary, self.horizon,
-                choose,
+                choose, profile=prof_root,
             )
             projected = project(rows, query.select, self.dictionary)
-            return QueryResult(variables=list(query.select), rows=projected)
+            return self._finish_result(
+                query, projected, prof_root, started
+            )
         try:
             graph, order = self.compile(query)
         except UnknownTermError:
-            return QueryResult(variables=list(query.select))
+            # A constant term missing from the dictionary: no pattern can
+            # match, so there is nothing to execute (or profile beyond an
+            # empty projection).
+            return self._finish_result(query, [], prof_root, started)
+        step_estimates = None
+        if want_profile:
+            step_estimates = self._annotate_estimates(graph, order)
         rows = execute(
-            graph, self.indexes, self.dictionary, self.horizon, order
+            graph, self.indexes, self.dictionary, self.horizon, order,
+            profile=prof_root, step_estimates=step_estimates,
         )
         projected = project(rows, query.select, self.dictionary)
-        return QueryResult(variables=list(query.select), rows=projected)
+        return self._finish_result(query, projected, prof_root, started)
+
+    def _annotate_estimates(
+        self, graph: PlanGraph, order: list[int]
+    ) -> dict | None:
+        """Fill in pattern estimates (and per-prefix join estimates) for
+        profiling, when the optimizer's statistics are available.
+
+        ``choose_order`` only runs for multi-pattern queries, so
+        single-pattern plans get their estimate filled in here.
+        """
+        stats = getattr(self.optimizer, "statistics", None)
+        if stats is None:
+            return None
+        from ..optimizer.cost import order_prefix_estimates
+
+        return order_prefix_estimates(graph, stats, order)
+
+    def _finish_result(
+        self,
+        query: Query,
+        projected: list[dict],
+        prof_root: ProfileNode | None,
+        started: float,
+    ) -> QueryResult:
+        elapsed = time.perf_counter() - started
+        if _metrics.ENABLED:
+            _QUERY_TIMER.observe(elapsed)
+        query_profile = None
+        if prof_root is not None:
+            root = ProfileNode(
+                op="project",
+                detail=", ".join(f"?{name}" for name in query.select),
+                actual_rows=len(projected),
+                children=prof_root.children,
+            )
+            query_profile = QueryProfile(
+                root=root, total_ms=elapsed * 1000.0
+            )
+        return QueryResult(
+            variables=list(query.select), rows=projected,
+            profile=query_profile,
+        )
 
     def explain(self, text: str | Query) -> str:
         """The chosen plan, as text."""

@@ -1,11 +1,23 @@
-"""Plan execution: ordered scans, joins, filters, projection (Section 5)."""
+"""Plan execution: ordered scans, joins, filters, projection (Section 5).
+
+When a :class:`~repro.obs.profile.ProfileNode` is passed to
+:func:`execute`, every operator (scan, hash join, synchronized join, cross
+product, filter) is timed and its row counts recorded into a left-deep
+profile tree; index-level scan counters (MVBT leaves visited, entries
+examined/pruned, compressed pages decoded) are attached to each scan node.
+Profiling is opt-in per query and adds no per-row work to the default
+path.
+"""
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 from ..model.dictionary import Dictionary
 from ..mvbt.tree import MVBT
+from ..obs import metrics as _metrics
+from ..obs.profile import ProfileNode
 from ..sparqlt.ast import Expr, expr_variables
 from .operators import (
     Row,
@@ -21,6 +33,27 @@ from .plan import PlanGraph
 
 #: Index name -> MVBT mapping held by the engine.
 IndexSet = dict
+
+#: Scan counters surfaced per profile node, as (label, counter) pairs.
+_SCAN_COUNTERS = (
+    ("leaves", _metrics.counter("mvbt.scan.leaves_visited")),
+    ("entries", _metrics.counter("mvbt.scan.entries_examined")),
+    ("pruned", _metrics.counter("mvbt.scan.entries_pruned")),
+    ("decoded", _metrics.counter("mvbt.compression.leaves_decoded")),
+)
+
+
+def _scan_counter_values() -> list[int]:
+    return [counter.value for _, counter in _SCAN_COUNTERS]
+
+
+def _scan_counter_delta(before: list[int]) -> dict:
+    out: dict[str, int] = {}
+    for (label, counter), prev in zip(_SCAN_COUNTERS, before):
+        delta = counter.value - prev
+        if delta:
+            out[label] = delta
+    return out
 
 
 def default_order(graph: PlanGraph) -> list[int]:
@@ -46,20 +79,63 @@ def default_order(graph: PlanGraph) -> list[int]:
     return order
 
 
+def _scan_detail(plan) -> str:
+    return f"{plan.index_order.upper()} {plan.pattern}"
+
+
 def execute(
     graph: PlanGraph,
     indexes: IndexSet,
     dictionary: Dictionary,
     horizon: int,
     order: list[int] | None = None,
+    profile: ProfileNode | None = None,
+    step_estimates: dict[frozenset, float] | None = None,
 ) -> list[Row]:
     """Run the plan and return projected result rows.
 
     Filters are pushed to the earliest point where their variables are all
     bound; the remaining conjuncts run before projection.
+
+    ``profile`` (optional) receives the executed operator tree as a child
+    node; ``step_estimates`` maps frozensets of joined pattern indices to
+    the optimizer's estimated output cardinality so join nodes carry
+    estimates too (see :func:`repro.optimizer.cost.order_prefix_estimates`).
     """
     if order is None:
         order = default_order(graph)
+    profiling = profile is not None
+    est_map = step_estimates or {}
+    joined: set[int] = set()
+    current: ProfileNode | None = None
+    perf = time.perf_counter
+
+    def finish(result_rows: list[Row]) -> list[Row]:
+        if profiling and current is not None:
+            profile.children.append(current)
+        return result_rows
+
+    def filter_step(rows, pending, bound):
+        nonlocal current
+        if not profiling:
+            return _apply_ready_filters(rows, pending, bound, dictionary,
+                                        horizon)
+        ready = [c for c, vars_ in pending if vars_ <= bound]
+        if not ready:
+            return rows, pending
+        start = perf()
+        filtered, rest = _apply_ready_filters(
+            rows, pending, bound, dictionary, horizon
+        )
+        current = ProfileNode(
+            op="filter",
+            detail=f"{len(ready)} conjunct(s)",
+            actual_rows=len(filtered),
+            time_ms=(perf() - start) * 1000.0,
+            children=[current] if current is not None else [],
+        )
+        return filtered, rest
+
     conjuncts = graph.query.filter_conjuncts()
     pending = [(c, expr_variables(c)) for c in conjuncts]
 
@@ -72,45 +148,98 @@ def execute(
         first, second = graph.patterns[order[0]], graph.patterns[order[1]]
         shared = first.pattern.variables() & second.pattern.variables()
         if synchronized_join_applicable(first, second, shared):
+            start = perf() if profiling else 0.0
             rows = list(
                 synchronized_join_rows(
                     indexes[first.index_order], first,
                     indexes[second.index_order], second,
                 )
             )
+            joined = {order[0], order[1]}
+            if profiling:
+                current = ProfileNode(
+                    op="sync join",
+                    detail="on " + ", ".join(f"?{v}" for v in sorted(shared)),
+                    est_rows=est_map.get(frozenset(joined)),
+                    actual_rows=len(rows),
+                    time_ms=(perf() - start) * 1000.0,
+                    children=[
+                        ProfileNode(op="scan", detail=_scan_detail(first),
+                                    est_rows=first.estimate,
+                                    extra={"fused": "sync"}),
+                        ProfileNode(op="scan", detail=_scan_detail(second),
+                                    est_rows=second.estimate,
+                                    extra={"fused": "sync"}),
+                    ],
+                )
             bound = first.pattern.variables() | second.pattern.variables()
             order = order[2:]
-            rows, pending = _apply_ready_filters(
-                rows, pending, bound, dictionary, horizon
-            )
+            rows, pending = filter_step(rows, pending, bound)
             if not rows:
-                return []
+                return finish([])
     for index in order:
         plan = graph.patterns[index]
         tree: MVBT = indexes[plan.index_order]
         scanned = index_scan(tree, plan)
         pattern_vars = plan.pattern.variables()
+        scan_node: ProfileNode | None = None
+        if profiling:
+            counters_before = _scan_counter_values()
+            start = perf()
+            scanned = list(scanned)
+            scan_node = ProfileNode(
+                op="scan",
+                detail=_scan_detail(plan),
+                est_rows=plan.estimate,
+                actual_rows=len(scanned),
+                time_ms=(perf() - start) * 1000.0,
+                extra=_scan_counter_delta(counters_before),
+            )
         if rows is None:
             rows = list(scanned)
+            if profiling:
+                current = scan_node
         else:
             shared = bound & pattern_vars
+            start = perf() if profiling else 0.0
             if shared:
                 rows = list(hash_join_rows(rows, scanned, shared))
+                op = "hash join"
+                detail = "on " + ", ".join(f"?{v}" for v in sorted(shared))
             else:
                 rows = list(nested_loop_product(rows, scanned))
+                op = "cross product"
+                detail = ""
+            if profiling:
+                current = ProfileNode(
+                    op=op,
+                    detail=detail,
+                    est_rows=est_map.get(frozenset(joined | {index})),
+                    actual_rows=len(rows),
+                    time_ms=(perf() - start) * 1000.0,
+                    children=[current, scan_node],
+                )
+        joined.add(index)
         bound |= pattern_vars
-        rows, pending = _apply_ready_filters(
-            rows, pending, bound, dictionary, horizon
-        )
+        rows, pending = filter_step(rows, pending, bound)
         if not rows:
-            return []
+            return finish([])
     if pending:
         # Filters over unbound variables: evaluate anyway so the error
         # surfaces (unbound-variable filters are user mistakes).
+        start = perf() if profiling else 0.0
         rows = list(
             apply_filters(rows, [c for c, _ in pending], dictionary, horizon)
         )
-    return rows
+        if profiling:
+            current = ProfileNode(
+                op="filter",
+                detail=f"{len(pending)} unbound conjunct(s)",
+                actual_rows=len(rows),
+                time_ms=(perf() - start) * 1000.0,
+                children=[current] if current is not None else [],
+            )
+    return finish(rows)
 
 
 def _apply_ready_filters(
@@ -133,6 +262,7 @@ def execute_group(
     dictionary: Dictionary,
     horizon: int,
     choose_order: "Callable | None" = None,
+    profile: ProfileNode | None = None,
 ) -> list[Row]:
     """Evaluate a :class:`~repro.sparqlt.ast.GroupGraphPattern`.
 
@@ -141,6 +271,10 @@ def execute_group(
     concatenate, OPTIONAL blocks left-outer-join, and the group's filters
     run over the combined rows (restrictions on temporal variables are also
     pushed into the base scans as windows).
+
+    ``profile`` covers the conjunctive core only: the base-pattern plan is
+    profiled as in :func:`execute`; UNION/OPTIONAL sub-groups are not
+    decomposed.
     """
     from ..sparqlt.ast import Query as _Query
     from ..engine.patterns import UnknownTermError, translate_pattern
@@ -164,7 +298,8 @@ def execute_group(
             choose_order(plan_graph) if choose_order is not None
             else default_order(plan_graph)
         )
-        rows = execute(plan_graph, indexes, dictionary, horizon, order)
+        rows = execute(plan_graph, indexes, dictionary, horizon, order,
+                       profile=profile)
         bound = {
             name for pattern in group.patterns
             for name in pattern.variables()

@@ -15,11 +15,24 @@ from ..model.dictionary import Dictionary
 from ..model.time import NOW, Period, PeriodSet
 from ..mvbt.scan import scan_pieces
 from ..mvbt.tree import MVBT
+from ..obs import metrics as _metrics
 from ..sparqlt.ast import Compare, Expr, expr_variables
 from ..sparqlt.functions import evaluate, restrict, restriction_target
 from .patterns import PatternPlan
 
 Row = dict
+
+# Operator instrumentation: counts are accumulated in locals and published
+# once per operator invocation, so the per-row paths never touch a lock
+# (and REPRO_OBS=0 skips the publish entirely).
+_SCANS = _metrics.counter("engine.index_scans")
+_SCAN_ROWS = _metrics.counter("engine.index_scan_rows")
+_HASH_JOINS = _metrics.counter("engine.hash_joins")
+_HASH_JOIN_ROWS = _metrics.counter("engine.hash_join_rows")
+_SYNC_JOINS = _metrics.counter("engine.sync_joins")
+_SYNC_JOIN_ROWS = _metrics.counter("engine.sync_join_rows")
+_FILTER_ROWS_IN = _metrics.counter("engine.filter_rows_in")
+_FILTER_ROWS_OUT = _metrics.counter("engine.filter_rows_out")
 
 
 def index_scan(tree: MVBT, plan: PatternPlan) -> Iterator[Row]:
@@ -39,6 +52,9 @@ def index_scan(tree: MVBT, plan: PatternPlan) -> Iterator[Row]:
             continue
         # Restrict to the scan window inline (point-based semantics).
         pieces[key].append((max(lo, w_start), min(hi, w_end)))
+    if _metrics.ENABLED:
+        _SCANS.inc()
+        _SCAN_ROWS.inc(len(pieces))
     for key, parts in pieces.items():
         validity = PeriodSet.from_intervals(parts)
         row: Row = {name: key[slot] for name, slot in plan.var_slots.items()}
@@ -98,6 +114,7 @@ def synchronized_join_rows(
     from ..mvbt.join import synchronized_join
 
     subject_slot = 2
+    rows_out = 0
     for lkey, rkey, periods in synchronized_join(
         left_tree,
         right_tree,
@@ -114,7 +131,11 @@ def synchronized_join_rows(
         for name, slot in right_plan.var_slots.items():
             row[name] = rkey[slot]
         row[left_plan.time_var] = periods
+        rows_out += 1
         yield row
+    if _metrics.ENABLED:
+        _SYNC_JOINS.inc()
+        _SYNC_JOIN_ROWS.inc(rows_out)
 
 
 def hash_join_rows(
@@ -140,6 +161,7 @@ def hash_join_rows(
     table: dict[tuple, list[Row]] = defaultdict(list)
     for row in left_rows:
         table[tuple(row.get(name) for name in key_vars)].append(row)
+    rows_out = 0
     for right_row in right:
         matches = table.get(tuple(right_row.get(name) for name in key_vars))
         if not matches:
@@ -147,7 +169,11 @@ def hash_join_rows(
         for left_row in matches:
             merged = _merge_rows(left_row, right_row, temporal)
             if merged is not None:
+                rows_out += 1
                 yield merged
+    if _metrics.ENABLED:
+        _HASH_JOINS.inc()
+        _HASH_JOIN_ROWS.inc(rows_out)
 
 
 def _merge_rows(
@@ -227,7 +253,9 @@ def apply_filters(
         else:
             predicates.append(conjunct)
 
+    rows_in = rows_out = 0
     for row in rows:
+        rows_in += 1
         out = dict(row)
         dead = False
         for target, conjunct in restrictions:
@@ -254,7 +282,11 @@ def apply_filters(
                 for predicate in predicates
             ):
                 continue
+        rows_out += 1
         yield out
+    if _metrics.ENABLED:
+        _FILTER_ROWS_IN.inc(rows_in)
+        _FILTER_ROWS_OUT.inc(rows_out)
 
 
 def decode_row(row: Row, dictionary: Dictionary) -> Row:

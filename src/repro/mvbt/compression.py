@@ -40,7 +40,14 @@ entry with the largest ts — lets appends encode without rescanning).
 from __future__ import annotations
 
 from ..model.time import NOW
+from ..obs import metrics as _metrics
 from .entry import Key, LeafEntry
+
+# Decode instrumentation: a "page decode" is one cache-miss expansion of a
+# compressed leaf buffer back into entries (no-ops under REPRO_OBS=0).
+_PAGES_DECODED = _metrics.counter("mvbt.compression.leaves_decoded")
+_ENTRIES_DECODED = _metrics.counter("mvbt.compression.entries_decoded")
+_BYTES_DECODED = _metrics.counter("mvbt.compression.bytes_decoded")
 
 #: Simulated storage-layout size of an uncompressed entry: five 64-bit values
 #: plus a pointer/flag word (see DESIGN.md; Python heap sizes would distort
@@ -281,6 +288,10 @@ class CompressedLeafStore:
                 entry = LeafEntry((k1, k2, k3), start, end, None)
             append(entry)
         self._decoded = out
+        if _metrics.ENABLED:
+            _PAGES_DECODED.inc()
+            _ENTRIES_DECODED.inc(len(out))
+            _BYTES_DECODED.inc(size)
         return out
 
     # ------------------------------------------------------------- mutation

@@ -20,12 +20,22 @@ from collections import defaultdict, deque
 from typing import Any, Iterator
 
 from ..model.time import MIN_TIME, NOW, Period, PeriodSet
+from ..obs import metrics as _metrics
 from .entry import Key, MAX_KEY_COMPONENT, MIN_KEY
 from .node import IndexNode, LeafNode, Node
 from .tree import MVBT
 
 #: Upper extremum usable as a key-range bound.
 MAX_KEY: Key = (MAX_KEY_COMPONENT, MAX_KEY_COMPONENT, MAX_KEY_COMPONENT, MAX_KEY_COMPONENT)
+
+# Scan instrumentation (REPRO_OBS=0 skips every update).  Counts are
+# accumulated locally per scan and published once, so the per-entry hot
+# loop stays untouched.
+_SCANS = _metrics.counter("mvbt.scan.scans")
+_LEAVES = _metrics.counter("mvbt.scan.leaves_visited")
+_EXAMINED = _metrics.counter("mvbt.scan.entries_examined")
+_PRUNED = _metrics.counter("mvbt.scan.entries_pruned")
+_EMITTED = _metrics.counter("mvbt.scan.entries_emitted")
 
 
 def prefix_range(prefix: tuple) -> tuple[Key, Key]:
@@ -54,9 +64,14 @@ def scan_pieces(
     border = min(t2 - 1, tree.current_time)
     if border < MIN_TIME:
         return []
+    obs_on = _metrics.ENABLED
+    leaves = examined = 0
     out: list[tuple[Key, int, int, Any]] = []
     append = out.append
     for leaf in _visit_leaves(tree, key_low, key_high, t1, t2, border):
+        if obs_on:
+            leaves += 1
+            examined += leaf.count
         node_start = leaf.start
         node_death = leaf.death
         for entry in leaf.entries():
@@ -72,6 +87,12 @@ def scan_pieces(
             if lo >= hi or lo >= t2 or t1 >= hi:
                 continue
             append((key, lo, hi, entry.payload))
+    if obs_on:
+        _SCANS.inc()
+        _LEAVES.inc(leaves)
+        _EXAMINED.inc(examined)
+        _EMITTED.inc(len(out))
+        _PRUNED.inc(examined - len(out))
     return out
 
 

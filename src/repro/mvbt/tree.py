@@ -24,8 +24,16 @@ from dataclasses import dataclass
 from typing import Any, Iterator
 
 from ..model.time import MIN_TIME, NOW
+from ..obs import metrics as _metrics
 from .entry import IndexEntry, Key, LeafEntry, MIN_KEY
 from .node import IndexNode, LeafNode, Node, live_partition
+
+# Update-path instrumentation (no-ops under REPRO_OBS=0).
+_INSERTS = _metrics.counter("mvbt.tree.inserts")
+_DELETES = _metrics.counter("mvbt.tree.deletes")
+_VERSION_SPLITS = _metrics.counter("mvbt.tree.version_splits")
+_KEY_SPLITS = _metrics.counter("mvbt.tree.key_splits")
+_MERGES = _metrics.counter("mvbt.tree.merges")
 
 
 class MVBTError(Exception):
@@ -130,6 +138,8 @@ class MVBT:
         leaf.append(LeafEntry(key, time, NOW, payload))
         self._live_records += 1
         self._total_versions += 1
+        if _metrics.ENABLED:
+            _INSERTS.inc()
         if leaf.count > self.config.block_capacity:
             self._restructure(path, time)
 
@@ -141,6 +151,8 @@ class MVBT:
         if not leaf.end_live(key, time):
             raise KeyError(f"key not live: {key!r}")
         self._live_records -= 1
+        if _metrics.ENABLED:
+            _DELETES.inc()
         if len(path) > 1 and leaf.live_count < self.config.weak_min:
             self._restructure(path, time)
 
@@ -194,6 +206,12 @@ class MVBT:
         if all(d.key_high is not None for d in donors):
             key_high = max(d.key_high for d in donors)
         new_nodes = self._build_nodes(node.is_leaf, live, key_low, time)
+        if _metrics.ENABLED:
+            _VERSION_SPLITS.inc()
+            if len(donors) > 1:
+                _MERGES.inc()
+            if len(new_nodes) == 2:
+                _KEY_SPLITS.inc()
         if len(new_nodes) == 2:
             new_nodes[0].key_high = new_nodes[1].key_low
             new_nodes[1].key_high = key_high

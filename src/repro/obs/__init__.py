@@ -1,0 +1,39 @@
+"""Observability: metrics registry and operator-level query profiles.
+
+A lightweight, zero-dependency layer threaded through the engine's hot
+paths (MVBT scans, joins, the optimizer's cardinality estimates).  The
+environment variable ``REPRO_OBS=0`` turns every probe into a no-op.
+"""
+
+from .metrics import (
+    ENABLED,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Registry,
+    Timer,
+    TimerStat,
+    counter,
+    enabled,
+    gauge,
+    set_enabled,
+    timer,
+)
+from .profile import ProfileNode, QueryProfile
+
+__all__ = [
+    "ENABLED",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "ProfileNode",
+    "QueryProfile",
+    "Registry",
+    "Timer",
+    "TimerStat",
+    "counter",
+    "enabled",
+    "gauge",
+    "set_enabled",
+    "timer",
+]

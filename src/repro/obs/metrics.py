@@ -1,0 +1,307 @@
+"""Process-wide metrics registry: counters, gauges, histogram timers.
+
+Zero-dependency observability for the engine's hot paths.  Metrics are
+named, thread-safe, and live in a process-global :data:`REGISTRY` by
+default; :meth:`Registry.snapshot` / :meth:`Registry.reset` and the
+text/JSON renderers back the ``repro-tx stats`` subcommand and the
+benchmark harness's profile artifacts.
+
+Kill switch: setting the environment variable ``REPRO_OBS=0`` (before
+import) disables all instrumentation — counter increments, timer
+observations, and query profiling become no-ops, so benchmark timings are
+unaffected.  Call sites in hot loops additionally gate on
+:data:`ENABLED` so the disabled path costs a single attribute check per
+operation batch, never per row.  Tests and tools can flip the switch at
+runtime with :func:`set_enabled`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Callable, Iterable
+
+
+def _env_enabled() -> bool:
+    """Read the ``REPRO_OBS`` kill switch from the environment."""
+    raw = os.environ.get("REPRO_OBS", "1").strip().lower()
+    return raw not in ("0", "false", "off", "no")
+
+
+#: Global instrumentation switch (``REPRO_OBS`` env, default on).
+ENABLED = _env_enabled()
+
+
+def enabled() -> bool:
+    """Whether instrumentation is currently on."""
+    return ENABLED
+
+
+def set_enabled(flag: bool) -> bool:
+    """Flip the kill switch at runtime; returns the previous state."""
+    global ENABLED
+    previous = ENABLED
+    ENABLED = bool(flag)
+    return previous
+
+
+class Counter:
+    """A monotonically increasing named counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if not ENABLED:
+            return
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Gauge:
+    """A named value that can go up and down (last write wins)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        if not ENABLED:
+            return
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class TimerStat:
+    """Aggregated wall-clock observations: count / total / min / max."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        if not ENABLED:
+            return
+        with self._lock:
+            self.count += 1
+            self.total += seconds
+            if seconds < self.min:
+                self.min = seconds
+            if seconds > self.max:
+                self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.min = float("inf")
+            self.max = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_ms": self.total * 1000.0,
+            "mean_ms": self.mean * 1000.0,
+            "min_ms": (self.min if self.count else 0.0) * 1000.0,
+            "max_ms": self.max * 1000.0,
+        }
+
+
+class Timer:
+    """Context manager / decorator feeding a :class:`TimerStat`.
+
+    Usage::
+
+        with registry.timer("engine.query"):
+            ...
+
+        @registry.timer("engine.query")
+        def run(): ...
+    """
+
+    __slots__ = ("stat", "_start")
+
+    def __init__(self, stat: TimerStat) -> None:
+        self.stat = stat
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter() if ENABLED else None
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        if self._start is not None:
+            self.stat.observe(time.perf_counter() - self._start)
+            self._start = None
+        return False
+
+    def __call__(self, fn: Callable) -> Callable:
+        stat = self.stat
+
+        def wrapper(*args, **kwargs):
+            if not ENABLED:
+                return fn(*args, **kwargs)
+            start = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                stat.observe(time.perf_counter() - start)
+
+        wrapper.__name__ = getattr(fn, "__name__", "wrapped")
+        wrapper.__doc__ = fn.__doc__
+        return wrapper
+
+
+class Registry:
+    """A named collection of counters, gauges and timer stats."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, TimerStat] = {}
+
+    # ------------------------------------------------------------- factories
+
+    def counter(self, name: str) -> Counter:
+        found = self._counters.get(name)
+        if found is None:
+            with self._lock:
+                found = self._counters.setdefault(name, Counter(name))
+        return found
+
+    def gauge(self, name: str) -> Gauge:
+        found = self._gauges.get(name)
+        if found is None:
+            with self._lock:
+                found = self._gauges.setdefault(name, Gauge(name))
+        return found
+
+    def timer_stat(self, name: str) -> TimerStat:
+        found = self._timers.get(name)
+        if found is None:
+            with self._lock:
+                found = self._timers.setdefault(name, TimerStat(name))
+        return found
+
+    def timer(self, name: str) -> Timer:
+        return Timer(self.timer_stat(name))
+
+    # ------------------------------------------------------------ inspection
+
+    def counter_values(self, names: Iterable[str]) -> dict[str, int]:
+        """Current values of the named counters (created when missing)."""
+        return {name: self.counter(name).value for name in names}
+
+    def snapshot(self) -> dict:
+        """One nested dict of every metric's current state."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.value for name, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: g.value for name, g in sorted(self._gauges.items())
+                },
+                "timers": {
+                    name: t.as_dict()
+                    for name, t in sorted(self._timers.items())
+                },
+            }
+
+    def reset(self) -> None:
+        """Zero every metric, keeping the registered objects alive so
+        module-level references stay valid."""
+        with self._lock:
+            metrics = (
+                list(self._counters.values())
+                + list(self._gauges.values())
+                + list(self._timers.values())
+            )
+        for metric in metrics:
+            metric.reset()
+
+    # ------------------------------------------------------------- rendering
+
+    def render_text(self) -> str:
+        """Aligned text rendering of the whole registry."""
+        snap = self.snapshot()
+        lines: list[str] = []
+        if snap["counters"]:
+            lines.append("counters:")
+            width = max(len(n) for n in snap["counters"])
+            for name, value in snap["counters"].items():
+                lines.append(f"  {name.ljust(width)}  {value}")
+        if snap["gauges"]:
+            lines.append("gauges:")
+            width = max(len(n) for n in snap["gauges"])
+            for name, value in snap["gauges"].items():
+                lines.append(f"  {name.ljust(width)}  {value:g}")
+        if snap["timers"]:
+            lines.append("timers:")
+            width = max(len(n) for n in snap["timers"])
+            for name, stat in snap["timers"].items():
+                lines.append(
+                    f"  {name.ljust(width)}  count={stat['count']}"
+                    f" total={stat['total_ms']:.2f}ms"
+                    f" mean={stat['mean_ms']:.3f}ms"
+                    f" max={stat['max_ms']:.3f}ms"
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+    def render_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+#: The process-global default registry every subsystem reports into.
+REGISTRY = Registry()
+
+
+def counter(name: str) -> Counter:
+    """``REGISTRY.counter`` shorthand."""
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """``REGISTRY.gauge`` shorthand."""
+    return REGISTRY.gauge(name)
+
+
+def timer(name: str) -> Timer:
+    """``REGISTRY.timer`` shorthand."""
+    return REGISTRY.timer(name)

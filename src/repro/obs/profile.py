@@ -1,0 +1,160 @@
+"""Operator-level query profiles (EXPLAIN ANALYZE).
+
+``RDFTX.query(..., profile=True)`` attaches a :class:`QueryProfile` to the
+result: a tree of :class:`ProfileNode` operator records, one per scan,
+join, filter and projection, each carrying the optimizer's estimated
+cardinality, the actual row count, elapsed wall time, and index-level
+counters (MVBT leaves visited, entries examined/pruned, compressed pages
+decoded).  Estimate-vs-actual drift is summarized as the *q-error*
+``max(est / actual, actual / est)`` with both sides floored at one row,
+the standard measure for cardinality estimators.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ProfileNode:
+    """One executed operator: scans, joins, filters, projection."""
+
+    op: str
+    detail: str = ""
+    #: optimizer cardinality estimate; None when the optimizer is off.
+    est_rows: float | None = None
+    #: rows produced; None when the operator is fused away (sync join inputs).
+    actual_rows: int | None = None
+    time_ms: float = 0.0
+    #: index-level counters, e.g. leaves visited by a scan.
+    extra: dict = field(default_factory=dict)
+    children: list["ProfileNode"] = field(default_factory=list)
+
+    @property
+    def qerror(self) -> float | None:
+        """q-error of the cardinality estimate, both sides floored at 1."""
+        if self.est_rows is None or self.actual_rows is None:
+            return None
+        est = max(self.est_rows, 1.0)
+        actual = max(float(self.actual_rows), 1.0)
+        return max(est / actual, actual / est)
+
+    def describe(self) -> str:
+        """One-line EXPLAIN ANALYZE rendering of this operator."""
+        parts = [self.op]
+        if self.detail:
+            parts.append(self.detail)
+        parts.append(
+            "(est=?" if self.est_rows is None
+            else f"(est={_format_rows(self.est_rows)}"
+        )
+        parts.append(
+            "actual=?" if self.actual_rows is None
+            else f"actual={self.actual_rows}"
+        )
+        parts.append(f"time={self.time_ms:.2f}ms)")
+        q = self.qerror
+        if q is not None:
+            parts.append(f"qerr={q:.2f}")
+        if self.extra:
+            inner = " ".join(f"{k}={v}" for k, v in self.extra.items())
+            parts.append(f"[{inner}]")
+        return " ".join(parts)
+
+    def walk(self):
+        """Depth-first iteration over this subtree."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        out = {
+            "op": self.op,
+            "detail": self.detail,
+            "est_rows": self.est_rows,
+            "actual_rows": self.actual_rows,
+            "time_ms": round(self.time_ms, 4),
+        }
+        if self.extra:
+            out["extra"] = dict(self.extra)
+        q = self.qerror
+        if q is not None:
+            out["qerror"] = round(q, 4)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+
+def _format_rows(value: float) -> str:
+    """Estimates below ten keep two decimals (they are often fractional)."""
+    return f"{value:.0f}" if value >= 10 else f"{value:.2f}"
+
+
+@dataclass
+class QueryProfile:
+    """The profile of one query execution: operator tree plus totals."""
+
+    root: ProfileNode
+    total_ms: float = 0.0
+
+    def iter_nodes(self):
+        return self.root.walk()
+
+    def pattern_qerrors(self) -> list[tuple[str, float, int, float]]:
+        """Per-pattern ``(pattern, est, actual, q-error)`` for every scan
+        that carries an optimizer estimate."""
+        out = []
+        for node in self.iter_nodes():
+            if node.op != "scan":
+                continue
+            if node.est_rows is None or node.actual_rows is None:
+                continue
+            out.append(
+                (node.detail, node.est_rows, node.actual_rows, node.qerror)
+            )
+        return out
+
+    def max_qerror(self) -> float | None:
+        """Worst per-pattern q-error, or None without estimates."""
+        qerrors = [q for _, _, _, q in self.pattern_qerrors()]
+        return max(qerrors) if qerrors else None
+
+    def render(self) -> str:
+        """PostgreSQL EXPLAIN ANALYZE-style tree rendering."""
+        lines: list[str] = []
+        _render_node(self.root, lines, prefix="", is_last=True, is_root=True)
+        lines.append(f"Total: {self.total_ms:.2f} ms")
+        worst = self.max_qerror()
+        if worst is not None:
+            lines.append(f"Max pattern q-error: {worst:.2f}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "total_ms": round(self.total_ms, 4),
+            "max_qerror": self.max_qerror(),
+            "plan": self.root.to_dict(),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def _render_node(
+    node: ProfileNode,
+    lines: list[str],
+    prefix: str,
+    is_last: bool,
+    is_root: bool = False,
+) -> None:
+    if is_root:
+        lines.append(node.describe())
+        child_prefix = ""
+    else:
+        lines.append(prefix + ("└─ " if is_last else "├─ ") + node.describe())
+        child_prefix = prefix + ("   " if is_last else "│  ")
+    for i, child in enumerate(node.children):
+        _render_node(
+            child, lines, child_prefix, is_last=(i == len(node.children) - 1)
+        )

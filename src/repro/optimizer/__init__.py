@@ -1,6 +1,12 @@
 """Query optimizer: temporal statistics, cost model, DP join ordering."""
 
-from .cost import SubPlan, join_cardinality, join_step_cost, pattern_estimates
+from .cost import (
+    SubPlan,
+    join_cardinality,
+    join_step_cost,
+    order_prefix_estimates,
+    pattern_estimates,
+)
 from .dp import Optimizer, enumerate_orders, estimate_order_cost, optimize
 from .statistics import Statistics
 
@@ -13,5 +19,6 @@ __all__ = [
     "join_cardinality",
     "join_step_cost",
     "optimize",
+    "order_prefix_estimates",
     "pattern_estimates",
 ]

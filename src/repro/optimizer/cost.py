@@ -87,3 +87,30 @@ def _subject_star(
 def join_step_cost(left: SubPlan, right: SubPlan, output: float) -> float:
     """Cost of one hash-join step: read both inputs, write the output."""
     return left.cardinality + right.cardinality + output
+
+
+def order_prefix_estimates(
+    graph: PlanGraph, stats: Statistics, order: list[int]
+) -> dict[frozenset, float]:
+    """Estimated cardinality of every left-deep prefix of ``order``.
+
+    Keyed by the frozenset of joined pattern indices so the executor's
+    profiler can look up the expected output of each join step (including
+    the synchronized-join case, which consumes two patterns at once).
+    """
+    estimates = pattern_estimates(graph, stats)
+    out: dict[frozenset, float] = {}
+    acc: SubPlan | None = None
+    for index in order:
+        nxt = SubPlan(
+            frozenset([index]), max(estimates[index], 0.01), estimates[index]
+        )
+        if acc is None:
+            acc = nxt
+        else:
+            output = join_cardinality(graph, stats, acc, nxt)
+            acc = SubPlan(
+                acc.patterns | nxt.patterns, max(output, 0.01), acc.cost
+            )
+        out[acc.patterns] = acc.cardinality
+    return out
