@@ -1,0 +1,207 @@
+"""Serving-layer throughput: store-level and HTTP-level, reads and writes.
+
+Measures four configurations of the durable serving layer
+(``repro.service``) over a synthetic Wikipedia-style dataset:
+
+* **store reads** — concurrent reader threads against
+  :class:`~repro.service.store.TemporalStore` (no HTTP),
+* **store writes** — the single-writer update path, with and without
+  per-update fsync, showing what group commit buys,
+* **http reads / http writes** — the same through the
+  :class:`~repro.service.server.TemporalService` endpoint, measuring the
+  full JSON + admission-control + socket stack.
+
+Run directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py
+
+Writes an aligned table to ``bench_results/serve_throughput.txt`` via the
+shared bench harness.  ``REPRO_SCALE`` scales the dataset and operation
+counts down for smoke runs.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+
+# Allow running from the repo root without an installed package.
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.harness import format_table, report, scaled  # noqa: E402
+from repro.datasets import wikipedia  # noqa: E402
+from repro.datasets.queries import selection_queries  # noqa: E402
+from repro.model.time import NOW  # noqa: E402
+from repro.service import TemporalStore, serve  # noqa: E402
+
+TRIPLES = scaled(int(os.environ.get("SERVE_BENCH_TRIPLES", "20000")))
+READS = scaled(int(os.environ.get("SERVE_BENCH_READS", "2000")))
+WRITES = scaled(int(os.environ.get("SERVE_BENCH_WRITES", "2000")))
+READERS = int(os.environ.get("SERVE_BENCH_READERS", "4"))
+
+
+def _build_store(directory, **kwargs):
+    graph = wikipedia.generate(TRIPLES, seed=7).graph
+    store = TemporalStore(directory, **kwargs)
+    store.load_dataset(graph)
+    queries = selection_queries(graph, count=8)
+    return store, queries
+
+
+def _update_stream(store, n):
+    base = store.engine.horizon + 1
+    # Clamp far away from NOW so long streams stay valid.
+    assert base + 2 * n < NOW
+    for i in range(n):
+        yield ("bench_subject_%d" % i, "bench_member", "Org", base + 2 * i)
+
+
+def bench_store_reads(store, queries) -> tuple[float, int]:
+    """READS queries spread over READERS threads; returns (secs, ops)."""
+    per_thread = READS // READERS
+    barrier = threading.Barrier(READERS + 1)
+    done = threading.Barrier(READERS + 1)
+
+    def reader(offset):
+        barrier.wait()
+        for i in range(per_thread):
+            store.query(queries[(offset + i) % len(queries)])
+        done.wait()
+
+    threads = [
+        threading.Thread(target=reader, args=(k,)) for k in range(READERS)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    start = time.perf_counter()
+    done.wait()
+    elapsed = time.perf_counter() - start
+    for t in threads:
+        t.join()
+    return elapsed, per_thread * READERS
+
+
+def bench_store_writes(store) -> tuple[float, int]:
+    start = time.perf_counter()
+    for s, p, o, t in _update_stream(store, WRITES):
+        store.insert(s, p, o, t)
+    store.sync()
+    return time.perf_counter() - start, WRITES
+
+
+def bench_http_reads(service, queries) -> tuple[float, int]:
+    per_thread = READS // READERS
+    barrier = threading.Barrier(READERS + 1)
+    done = threading.Barrier(READERS + 1)
+
+    def reader(offset):
+        conn = http.client.HTTPConnection("127.0.0.1", service.port,
+                                          timeout=60)
+        barrier.wait()
+        for i in range(per_thread):
+            body = json.dumps(
+                {"query": queries[(offset + i) % len(queries)]}
+            )
+            conn.request("POST", "/query", body,
+                         {"Content-Type": "application/json"})
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 200, response.status
+        conn.close()
+        done.wait()
+
+    threads = [
+        threading.Thread(target=reader, args=(k,)) for k in range(READERS)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    start = time.perf_counter()
+    done.wait()
+    elapsed = time.perf_counter() - start
+    for t in threads:
+        t.join()
+    return elapsed, per_thread * READERS
+
+
+def bench_http_writes(service, store) -> tuple[float, int]:
+    conn = http.client.HTTPConnection("127.0.0.1", service.port, timeout=60)
+    updates = [
+        {"op": "insert", "subject": s, "predicate": p, "object": o,
+         "time": t}
+        for s, p, o, t in _update_stream(store, WRITES)
+    ]
+    start = time.perf_counter()
+    for update in updates:
+        conn.request("POST", "/update", json.dumps(update),
+                     {"Content-Type": "application/json"})
+        response = conn.getresponse()
+        response.read()
+        assert response.status == 200, response.status
+    conn.close()
+    return time.perf_counter() - start, WRITES
+
+
+def main() -> int:
+    rows = []
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store, queries = _build_store(
+            os.path.join(tmp, "reads"), group_size=64
+        )
+        with store:
+            elapsed, ops = bench_store_reads(store, queries)
+            rows.append(("store reads (%d threads)" % READERS, ops, elapsed))
+
+    for label, kwargs in (
+        ("store writes (group=64)", {"group_size": 64}),
+        ("store writes (fsync each)", {"group_size": 1}),
+        ("store writes (no fsync)", {"group_size": 1, "fsync": False}),
+    ):
+        with tempfile.TemporaryDirectory() as tmp:
+            store, _ = _build_store(os.path.join(tmp, "writes"), **kwargs)
+            with store:
+                elapsed, ops = bench_store_writes(store)
+                rows.append((label, ops, elapsed))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store, queries = _build_store(os.path.join(tmp, "http"),
+                                      group_size=64)
+        with store:
+            service = serve(store, port=0, max_inflight=READERS + 2,
+                            request_timeout=120.0)
+            thread = threading.Thread(target=service.serve_forever,
+                                      daemon=True)
+            thread.start()
+            try:
+                elapsed, ops = bench_http_reads(service, queries)
+                rows.append(
+                    ("http reads (%d conns)" % READERS, ops, elapsed)
+                )
+                elapsed, ops = bench_http_writes(service, store)
+                rows.append(("http writes (1 conn)", ops, elapsed))
+            finally:
+                service.shutdown()
+                thread.join(timeout=30)
+
+    table = format_table(
+        "Serving-layer throughput (%d triples loaded)" % TRIPLES,
+        ["configuration", "ops", "seconds", "ops/sec"],
+        [
+            (label, ops, "%.3f" % elapsed,
+             "%.0f" % (ops / elapsed if elapsed else float("inf")))
+            for label, ops, elapsed in rows
+        ],
+    )
+    report("serve_throughput", table)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

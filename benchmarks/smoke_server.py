@@ -1,0 +1,180 @@
+"""CI smoke: the serve lifecycle end to end, including crash recovery.
+
+Drives the real ``repro-tx serve`` process over HTTP:
+
+1. generate a dataset and start a server with ``--data``,
+2. run queries and durable updates against it,
+3. checkpoint, apply more updates, then SIGKILL the process (no clean
+   shutdown),
+4. restart the server on the same directory and verify every
+   acknowledged update survived — both the checkpointed ones and the
+   WAL-only tail.
+
+Run directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/smoke_server.py
+
+Exits nonzero on any mismatch.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = os.path.join(os.path.dirname(__file__), "..")
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+PORT = int(os.environ.get("SMOKE_SERVER_PORT", "8199"))
+TRIPLES = int(os.environ.get("SMOKE_SERVER_TRIPLES", "2000"))
+
+
+def request(method, path, payload=None, timeout=30):
+    conn = http.client.HTTPConnection("127.0.0.1", PORT, timeout=timeout)
+    try:
+        body = json.dumps(payload) if payload is not None else None
+        conn.request(method, path, body,
+                     {"Content-Type": "application/json"} if body else {})
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def wait_healthy(deadline=30.0):
+    start = time.monotonic()
+    while time.monotonic() - start < deadline:
+        try:
+            status, body = request("GET", "/healthz", timeout=2)
+            if status == 200:
+                return body
+        except OSError:
+            pass
+        time.sleep(0.2)
+    raise SystemExit("server did not become healthy in time")
+
+
+def start_server(directory, data=None):
+    argv = [
+        sys.executable, "-m", "repro.cli", "serve", directory,
+        "--port", str(PORT), "--group-commit", "8",
+    ]
+    if data:
+        argv += ["--data", data]
+    env = {**os.environ, "PYTHONPATH": os.path.join(REPO, "src")}
+    return subprocess.Popen(argv, env=env)
+
+
+def check(name, condition, detail=""):
+    if not condition:
+        raise SystemExit(f"FAIL {name}: {detail}")
+    print(f"ok {name}")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        dataset = os.path.join(tmp, "data.tnq")
+        storedir = os.path.join(tmp, "store")
+        subprocess.run(
+            [sys.executable, "-m", "repro.cli", "generate", "wikipedia",
+             str(TRIPLES), dataset],
+            env={**os.environ, "PYTHONPATH": os.path.join(REPO, "src")},
+            check=True,
+        )
+
+        server = start_server(storedir, data=dataset)
+        try:
+            health = wait_healthy()
+            check("bootstrap", health["live_facts"] > 0, health)
+
+            status, result = request("POST", "/query", {
+                "query": "SELECT ?s ?o {?s population ?o ?t}",
+            })
+            check("query", status == 200 and "rows" in result,
+                  (status, result))
+
+            status, body = request("POST", "/update", {
+                "op": "insert", "subject": "SmokeCity",
+                "predicate": "population", "object": "12345",
+                "time": "2030-01-01",
+            })
+            check("update", status == 200 and body["applied"] == 1,
+                  (status, body))
+            pre_checkpoint_revision = body["revision"]
+
+            status, body = request("POST", "/checkpoint")
+            check("checkpoint",
+                  status == 200
+                  and body["revision"] == pre_checkpoint_revision,
+                  (status, body))
+
+            # WAL-only tail: updates after the checkpoint.
+            for i in range(20):
+                status, body = request("POST", "/update", {
+                    "op": "insert", "subject": f"SmokeCity_{i}",
+                    "predicate": "population", "object": str(i),
+                    "time": "2030-01-02",
+                })
+                check(f"tail update {i}", status == 200, (status, body))
+            final_revision = body["revision"]
+
+            status, body = request("GET", "/metrics")
+            check("metrics", status == 200 and "counters" in body, status)
+
+            os.kill(server.pid, signal.SIGKILL)  # crash, no shutdown
+            server.wait(timeout=30)
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait(timeout=30)
+
+        server = start_server(storedir)
+        try:
+            health = wait_healthy()
+            check("recovered revision",
+                  health["revision"] == final_revision,
+                  (health["revision"], final_revision))
+
+            status, result = request("POST", "/query", {
+                "query": "SELECT ?o {SmokeCity population ?o ?t}",
+            })
+            check("checkpointed update survived",
+                  [r["o"] for r in result["rows"]] == ["12345"], result)
+
+            status, result = request("POST", "/query", {
+                "query": "SELECT ?s {?s population ?o ?t "
+                         ". FILTER(YEAR(?t) = 2030)}",
+            })
+            survivors = {row["s"] for row in result["rows"]}
+            expected = {"SmokeCity"} | {f"SmokeCity_{i}" for i in range(20)}
+            check("WAL tail survived", survivors >= expected,
+                  expected - survivors)
+
+            status, body = request("POST", "/update", {
+                "op": "delete", "subject": "SmokeCity",
+                "predicate": "population", "object": "12345",
+                "time": "2031-01-01",
+            })
+            check("post-recovery update",
+                  status == 200 and body["revision"] == final_revision + 1,
+                  (status, body))
+        finally:
+            server.send_signal(signal.SIGINT)
+            try:
+                server.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                server.kill()
+                server.wait(timeout=30)
+
+    print("OK: serve lifecycle + crash recovery")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

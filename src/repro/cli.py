@@ -7,6 +7,8 @@ Subcommands::
     repro-tx shell DATASET.tnq             interactive SPARQLT shell
     repro-tx stats DATASET.tnq             metrics registry report
     repro-tx generate KIND N OUT.tnq       write a synthetic dataset
+    repro-tx snapshot DATASET.tnq OUT      compile a dataset to a snapshot
+    repro-tx serve DIR                     durable HTTP SPARQLT endpoint
 
 ``query --analyze`` prints an EXPLAIN ANALYZE-style operator tree with
 estimated vs. actual rows and per-operator timings; ``stats`` renders the
@@ -14,7 +16,10 @@ global metrics registry (``repro.obs``) after loading and optionally
 querying.  ``REPRO_OBS=0`` disables all instrumentation.
 
 ``DATASET`` files use the temporal N-Quads format (see ``repro.io``);
-``.gz`` paths are compressed transparently.
+``.gz`` paths are compressed transparently.  Every command that takes a
+``DATASET`` also accepts a binary snapshot (``repro-tx snapshot``, or a
+``store.snap`` from a serve directory) — detected by magic bytes, loading
+in milliseconds instead of re-running parse + bulk load + compression.
 """
 
 from __future__ import annotations
@@ -78,10 +83,53 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("output")
     generate.add_argument("--seed", type=int, default=0)
 
+    snapshot = sub.add_parser(
+        "snapshot",
+        help="compile a dataset into a binary snapshot (fast reload)",
+    )
+    snapshot.add_argument("dataset")
+    snapshot.add_argument("output")
+    snapshot.add_argument("--no-optimizer", action="store_true")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a store directory over HTTP (WAL + snapshots)",
+    )
+    serve.add_argument("directory",
+                       help="store directory (created if missing)")
+    serve.add_argument("--data", metavar="DATASET",
+                       help="bulk-load this dataset into an empty store "
+                            "(temporal N-Quads or snapshot)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8094)
+    serve.add_argument("--workers", type=int, default=8,
+                       help="max in-flight requests (excess gets 503)")
+    serve.add_argument("--request-timeout", type=float, default=30.0,
+                       help="per-request deadline in seconds (504 past it)")
+    serve.add_argument("--group-commit", type=int, default=32,
+                       metavar="N", help="fsync the WAL every N updates")
+    serve.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="N",
+                       help="auto-checkpoint every N updates")
+    serve.add_argument("--no-fsync", action="store_true",
+                       help="never fsync the WAL (faster; loses machine-"
+                            "crash durability, keeps process-kill safety)")
+    serve.add_argument("--no-optimizer", action="store_true")
+
     return parser
 
 
 def _load_engine(path: str, use_optimizer: bool) -> RDFTX:
+    """Build an engine from ``path`` — a dataset file or a snapshot.
+
+    Snapshots (detected by magic bytes) skip the parse + bulk-load +
+    compress pipeline entirely.
+    """
+    from .service.snapshot import is_snapshot, load_snapshot
+
+    if is_snapshot(path):
+        engine, _ = load_snapshot(path, use_optimizer=use_optimizer)
+        return engine
     graph = tio.load_graph(path)
     optimizer = Optimizer() if use_optimizer else None
     engine = RDFTX.from_graph(graph, optimizer=optimizer)
@@ -90,8 +138,8 @@ def _load_engine(path: str, use_optimizer: bool) -> RDFTX:
 
 
 def cmd_info(args) -> int:
-    graph = tio.load_graph(args.dataset)
-    engine = RDFTX.from_graph(graph)
+    engine = _load_engine(args.dataset, use_optimizer=False)
+    graph = engine._graph
     predicates = graph.predicate_counts()
     starts = [t.period.start for t in graph]
     print(f"triples:        {len(graph)}")
@@ -236,6 +284,63 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def cmd_snapshot(args) -> int:
+    from .service.snapshot import save_snapshot
+
+    start = time.perf_counter()
+    engine = _load_engine(args.dataset, not args.no_optimizer)
+    built = time.perf_counter()
+    path = save_snapshot(engine, args.output)
+    saved = time.perf_counter()
+    size = path.stat().st_size
+    print(f"wrote {path} ({size} bytes): "
+          f"build {1000 * (built - start):.0f} ms, "
+          f"serialize {1000 * (saved - built):.0f} ms")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from .service.server import serve
+    from .service.store import TemporalStore
+
+    store = TemporalStore(
+        args.directory,
+        use_optimizer=not args.no_optimizer,
+        group_size=args.group_commit,
+        fsync=not args.no_fsync,
+        checkpoint_every=args.checkpoint_every,
+    )
+    try:
+        if args.data:
+            if store.revision != 0 or store.live_facts != 0:
+                print(f"error: --data given but {args.directory} is not "
+                      f"empty (revision {store.revision})", file=sys.stderr)
+                return 1
+            print(f"loading {args.data} ...")
+            # Adopt a pre-built engine (dataset or snapshot), then
+            # checkpoint so the store directory is self-contained.
+            store.engine = _load_engine(args.data, not args.no_optimizer)
+            store.checkpoint()
+            print(f"loaded {store.live_facts} live facts")
+        service = serve(
+            store, host=args.host, port=args.port,
+            max_inflight=args.workers,
+            request_timeout=args.request_timeout,
+        )
+        print(f"serving {args.directory} on http://{args.host}:"
+              f"{service.port} (revision {store.revision}, "
+              f"{store.live_facts} live facts)")
+        try:
+            service.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down")
+        finally:
+            service.shutdown()
+    finally:
+        store.close()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -244,6 +349,8 @@ def main(argv: list[str] | None = None) -> int:
         "shell": cmd_shell,
         "stats": cmd_stats,
         "generate": cmd_generate,
+        "snapshot": cmd_snapshot,
+        "serve": cmd_serve,
     }[args.command]
     try:
         return handler(args)

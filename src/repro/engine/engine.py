@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from ..model.graph import TemporalGraph
-from ..model.time import NOW, PeriodSet, format_chronon
+from ..model.time import MIN_TIME, NOW, PeriodSet, format_chronon
 from ..mvbt.tree import MVBT, MVBTConfig, bulk_load
 from ..obs import metrics as _metrics
 from ..obs.profile import ProfileNode, QueryProfile
@@ -41,6 +41,10 @@ class QueryResult:
     #: operator-level profile, set by ``RDFTX.query(..., profile=True)``
     #: (None when profiling was off or disabled via ``REPRO_OBS=0``).
     profile: QueryProfile | None = None
+    #: revision epoch the query ran against, set by the serving layer
+    #: (:meth:`repro.service.store.TemporalStore.query`); None for direct
+    #: engine queries.
+    revision: int | None = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -105,6 +109,7 @@ class RDFTX:
         self,
         config: MVBTConfig | None = None,
         optimizer=None,
+        stats_refresh_threshold: int | None = 256,
     ) -> None:
         self.config = config or MVBTConfig(block_capacity=64, weak_min=12,
                                            epsilon=12)
@@ -115,6 +120,15 @@ class RDFTX:
         self.optimizer = optimizer
         #: compiled-plan cache (prepared statements); invalidated by updates.
         self._plan_cache: dict = {}
+        #: the loaded graph, kept so statistics can be rebuilt after updates
+        #: (and so updates stay visible to snapshots / ``repro-tx info``).
+        self._graph: TemporalGraph | None = None
+        #: updates applied since the optimizer statistics were last built.
+        self._stats_dirty = 0
+        #: auto-rebuild the statistics once this many updates accumulate
+        #: (None disables the automatic refresh; see
+        #: :meth:`refresh_statistics`).
+        self.stats_refresh_threshold = stats_refresh_threshold
 
     # ----------------------------------------------------------------- load
 
@@ -125,19 +139,28 @@ class RDFTX:
         config: MVBTConfig | None = None,
         optimizer=None,
         compress: bool = True,
+        stats_refresh_threshold: int | None = 256,
     ) -> "RDFTX":
         """Build an engine over a temporal graph (bulk load + compression).
 
         Mirrors the paper's construction: standard MVBTs are built first and
         their leaves are then delta-compressed (Section 7.5).
         """
-        engine = cls(config=config, optimizer=optimizer)
+        engine = cls(config=config, optimizer=optimizer,
+                     stats_refresh_threshold=stats_refresh_threshold)
         engine.load(graph, compress=compress)
         return engine
 
     def load(self, graph: TemporalGraph, compress: bool = True) -> None:
-        """Bulk load all four indices from ``graph``."""
+        """Bulk load all four indices from ``graph``.
+
+        The engine keeps a reference to ``graph`` and maintains it across
+        :meth:`insert`/:meth:`delete`, so optimizer statistics can be
+        rebuilt and snapshots stay faithful after live updates.
+        """
         self.dictionary = graph.dictionary
+        self._graph = graph
+        self._stats_dirty = 0
         self._plan_cache.clear()
         for name in INDEX_ORDERS:
             records = [
@@ -160,18 +183,64 @@ class RDFTX:
     def insert(self, subject: str, predicate: str, object: str,
                time: int) -> None:
         """Start a new fact at ``time`` (live until deleted)."""
+        _check_update_time(time)
         ids = self._encode(subject, predicate, object)
         for name, tree in self.indexes.items():
             tree.insert(_reorder(ids, name), time)
-        self._plan_cache.clear()
+        if self._graph is not None:
+            self._graph.add(subject, predicate, object, time)
+        self._note_update()
 
     def delete(self, subject: str, predicate: str, object: str,
                time: int) -> None:
         """End a live fact at ``time``."""
+        _check_update_time(time)
         ids = self._encode(subject, predicate, object)
         for name, tree in self.indexes.items():
             tree.delete(_reorder(ids, name), time)
+        if self._graph is not None:
+            self._graph.end(subject, predicate, object, time)
+        self._note_update()
+
+    def _note_update(self) -> None:
+        """Invalidate caches after an update.
+
+        The plan cache must go immediately (plans bake in dictionary ids
+        and time ranges); the optimizer statistics only degrade gradually,
+        so they are left in place and rebuilt lazily once
+        ``stats_refresh_threshold`` updates accumulate.
+        """
         self._plan_cache.clear()
+        self._stats_dirty += 1
+
+    @property
+    def statistics_dirty(self) -> int:
+        """Updates applied since the statistics were last (re)built."""
+        return self._stats_dirty
+
+    def refresh_statistics(self) -> bool:
+        """Rebuild the optimizer statistics from the maintained graph.
+
+        Returns ``True`` when a rebuild happened.  Called automatically at
+        compile time once :attr:`stats_refresh_threshold` updates have
+        accumulated; callers can also invoke it eagerly (e.g. after a bulk
+        update burst, or from ``repro-tx serve`` checkpoints).
+        """
+        self._stats_dirty = 0
+        if self.optimizer is None or self._graph is None:
+            return False
+        self.optimizer.rebuild(self._graph)
+        self._plan_cache.clear()
+        return True
+
+    def _maybe_refresh_statistics(self) -> None:
+        threshold = self.stats_refresh_threshold
+        if (
+            threshold is not None
+            and self.optimizer is not None
+            and self._stats_dirty >= threshold
+        ):
+            self.refresh_statistics()
 
     def _encode(self, subject: str, predicate: str, object: str):
         if self.dictionary is None:
@@ -198,6 +267,7 @@ class RDFTX:
         identity for pre-parsed queries) until the next update, so repeated
         queries pay optimization once — prepared-statement behaviour.
         """
+        self._maybe_refresh_statistics()
         cache_key = text if isinstance(text, str) else id(text)
         cached = self._plan_cache.get(cache_key)
         if cached is not None:
@@ -230,6 +300,7 @@ class RDFTX:
         query = parse(text) if isinstance(text, str) else text
         from .operators import project
 
+        self._maybe_refresh_statistics()
         want_profile = profile and _metrics.ENABLED
         prof_root = ProfileNode(op="execute") if want_profile else None
         started = time.perf_counter()
@@ -379,6 +450,20 @@ class RDFTX:
     def check_invariants(self) -> None:
         for tree in self.indexes.values():
             tree.check_invariants()
+
+
+def _check_update_time(time: int) -> None:
+    """Reject update timestamps outside the concrete chronon domain.
+
+    ``NOW`` is the live-interval sentinel: inserting or deleting *at* it
+    would create an entry that is never alive yet counts as live (and a
+    delete at ``NOW`` would decrement live counts while leaving the entry
+    live), silently corrupting the indices.
+    """
+    if not (MIN_TIME <= time < NOW):
+        raise ValueError(
+            f"update time {time!r} outside [{MIN_TIME}, NOW)"
+        )
 
 
 def _reorder(ids: dict, order_name: str):

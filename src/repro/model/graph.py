@@ -12,7 +12,7 @@ from collections import defaultdict
 from typing import Callable, Iterable, Iterator
 
 from .dictionary import Dictionary
-from .time import NOW, Period, PeriodSet
+from .time import NOW, Period, PeriodSet, TimeError
 from .triple import EncodedTriple, TemporalTriple
 
 
@@ -22,6 +22,10 @@ class TemporalGraph:
     def __init__(self) -> None:
         self.dictionary = Dictionary()
         self._triples: list[EncodedTriple] = []
+        #: (sid, pid, oid) -> index of the live triple for that fact, so the
+        #: live-update path (engine inserts/deletes, the serving layer's
+        #: validation) is O(1) instead of a scan.
+        self._live: dict[tuple[int, int, int], int] = {}
 
     # ------------------------------------------------------------------ load
 
@@ -41,6 +45,10 @@ class TemporalGraph:
             Period(start, end),
         )
         self._triples.append(encoded)
+        if encoded.period.is_live:
+            self._live[
+                (encoded.subject, encoded.predicate, encoded.object)
+            ] = len(self._triples) - 1
         return encoded
 
     def add_triple(self, triple: TemporalTriple) -> EncodedTriple:
@@ -57,6 +65,85 @@ class TemporalGraph:
         """Bulk-add temporal triples."""
         for triple in triples:
             self.add_triple(triple)
+
+    def end(self, subject: str, predicate: str, object: str,
+            end: int) -> None:
+        """End the live fact ``(s, p, o)`` at chronon ``end``.
+
+        Raises :class:`KeyError` when the fact is not live.  Ending a fact
+        at (or before) its own start leaves a zero-length history, so the
+        triple is dropped entirely — the MVBT's matching entry is likewise
+        never visible at any chronon.
+        """
+        if end >= NOW:
+            raise TimeError("cannot end a fact at NOW")
+        ids = tuple(
+            self.dictionary.lookup(t) for t in (subject, predicate, object)
+        )
+        if any(i is None for i in ids):
+            raise KeyError(f"fact not live: ({subject}, {predicate}, {object})")
+        idx = self._live.pop(ids, None)
+        if idx is None:
+            raise KeyError(f"fact not live: ({subject}, {predicate}, {object})")
+        old = self._triples[idx]
+        if end <= old.period.start:
+            self._remove_at(idx)
+            return
+        self._triples[idx] = EncodedTriple(
+            old.subject, old.predicate, old.object,
+            Period(old.period.start, end),
+        )
+
+    def _remove_at(self, idx: int) -> None:
+        """Remove the triple at ``idx`` (swap-with-last, fix the live map)."""
+        last = self._triples.pop()
+        if idx < len(self._triples):
+            self._triples[idx] = last
+            if last.period.is_live:
+                self._live[(last.subject, last.predicate, last.object)] = idx
+
+    def is_live(self, subject: str, predicate: str, object: str) -> bool:
+        """Whether the fact currently holds (has a live interval)."""
+        return self.live_since(subject, predicate, object) is not None
+
+    def live_since(
+        self, subject: str, predicate: str, object: str
+    ) -> int | None:
+        """Start chronon of the fact's live interval, or ``None``."""
+        ids = tuple(
+            self.dictionary.lookup(t) for t in (subject, predicate, object)
+        )
+        if any(i is None for i in ids):
+            return None
+        idx = self._live.get(ids)
+        if idx is None:
+            return None
+        return self._triples[idx].period.start
+
+    # ----------------------------------------------------- (de)serialization
+
+    def encoded_rows(self) -> list[tuple[int, int, int, int, int]]:
+        """Flat ``(sid, pid, oid, start, end)`` rows (snapshot payloads)."""
+        return [
+            (t.subject, t.predicate, t.object, t.period.start, t.period.end)
+            for t in self._triples
+        ]
+
+    @classmethod
+    def from_encoded(
+        cls,
+        dictionary: Dictionary,
+        rows: Iterable[tuple[int, int, int, int, int]],
+    ) -> "TemporalGraph":
+        """Rebuild a graph from a dictionary plus encoded rows."""
+        graph = cls()
+        graph.dictionary = dictionary
+        for sid, pid, oid, start, end in rows:
+            encoded = EncodedTriple(sid, pid, oid, Period(start, end))
+            graph._triples.append(encoded)
+            if end == NOW:
+                graph._live[(sid, pid, oid)] = len(graph._triples) - 1
+        return graph
 
     # ----------------------------------------------------------------- views
 

@@ -323,3 +323,39 @@ class CompressedLeafStore:
     def sizeof(self) -> int:
         """Storage-layout size: buffer plus node header and base values."""
         return NODE_HEADER_BYTES + 5 * 8 + len(self._buf)
+
+    # -------------------------------------------------------- serialization
+
+    def to_state(self) -> dict:
+        """Plain-data state for snapshots: the raw buffer plus the base
+        values and append checkpoint, so a restored store encodes future
+        appends identically to the original."""
+        last = self._last_entry
+        return {
+            "buf": bytes(self._buf),
+            "count": self.count,
+            "base_v": self._base_v,
+            "base_ts": self._base_ts,
+            "base_te": self._base_te,
+            "checkpoint_ts": self._checkpoint_ts,
+            "last_entry": (
+                None if last is None else (last.key, last.start, last.end)
+            ),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CompressedLeafStore":
+        store = cls.__new__(cls)
+        store._buf = bytearray(state["buf"])
+        store.count = state["count"]
+        store._base_v = tuple(state["base_v"])
+        store._base_ts = state["base_ts"]
+        store._base_te = state["base_te"]
+        store._checkpoint_ts = state["checkpoint_ts"]
+        last = state["last_entry"]
+        store._last_entry = (
+            None if last is None
+            else LeafEntry(tuple(last[0]), last[1], last[2], None)
+        )
+        store._decoded = None
+        return store

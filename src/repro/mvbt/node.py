@@ -54,6 +54,36 @@ class _NodeBase:
             return None
         return Period(lo, hi)
 
+    # -------------------------------------------------------- serialization
+
+    def dump_state(self, node_ids: dict[int, int]) -> dict:
+        """Plain-data state of this node; graph links become node ids.
+
+        ``node_ids`` maps ``id(node)`` to a dense index assigned by
+        :meth:`repro.mvbt.tree.MVBT.dump_state`; the flat representation
+        keeps snapshot encoding iterative (predecessor chains can be long,
+        so a naive recursive pickle of the object graph would blow the
+        recursion limit).
+        """
+        return {
+            "kind": "leaf" if self.is_leaf else "index",
+            "key_low": self.key_low,
+            "key_high": self.key_high,
+            "start": self.start,
+            "death": self.death,
+            "predecessors": [node_ids[id(p)] for p in self.predecessors],
+            **self._dump_entries(node_ids),
+        }
+
+    @staticmethod
+    def shell_from_state(state: dict) -> "_NodeBase":
+        """An empty node carrying the scalar state (entries/links later)."""
+        cls = LeafNode if state["kind"] == "leaf" else IndexNode
+        node = cls(state["key_low"], state["start"])
+        node.key_high = state["key_high"]
+        node.death = state["death"]
+        return node
+
 
 class LeafNode(_NodeBase):
     """An MVBT leaf holding data entries."""
@@ -150,6 +180,33 @@ class LeafNode(_NodeBase):
             return self._store.sizeof()
         return NODE_HEADER_BYTES + STANDARD_ENTRY_BYTES * len(self._entries)
 
+    # -------------------------------------------------------- serialization
+
+    def _dump_entries(self, node_ids: dict[int, int]) -> dict:
+        if self._store is not None:
+            # Compressed leaves ship their raw byte buffer: restore is
+            # byte-identical and pays no re-encode.
+            return {
+                "store": self._store.to_state(),
+                "live_count": self._live_count,
+            }
+        return {
+            "entries": [
+                (e.key, e.start, e.end, e.payload) for e in self._entries
+            ],
+        }
+
+    def restore_entries(self, state: dict, nodes: list["_NodeBase"]) -> None:
+        if "store" in state:
+            from .compression import CompressedLeafStore
+
+            self._store = CompressedLeafStore.from_state(state["store"])
+            self._entries = None
+            self._live_count = state["live_count"]
+            return
+        for key, start, end, payload in state["entries"]:
+            self.append(LeafEntry(tuple(key), start, end, payload))
+
     def __repr__(self) -> str:
         state = "live" if self.is_alive else f"dead@{self.death}"
         return (
@@ -237,6 +294,20 @@ class IndexNode(_NodeBase):
         from .compression import STANDARD_ENTRY_BYTES, NODE_HEADER_BYTES
 
         return NODE_HEADER_BYTES + STANDARD_ENTRY_BYTES * len(self._entries)
+
+    # -------------------------------------------------------- serialization
+
+    def _dump_entries(self, node_ids: dict[int, int]) -> dict:
+        return {
+            "entries": [
+                (e.key, e.start, e.end, node_ids[id(e.child)])
+                for e in self._entries
+            ],
+        }
+
+    def restore_entries(self, state: dict, nodes: list["_NodeBase"]) -> None:
+        for key, start, end, child_id in state["entries"]:
+            self.append(IndexEntry(tuple(key), start, end, nodes[child_id]))
 
     def __repr__(self) -> str:
         state = "live" if self.is_alive else f"dead@{self.death}"

@@ -360,6 +360,63 @@ class MVBT:
         """Storage-layout size of the whole forest in bytes."""
         return sum(node.sizeof() for node in self.iter_nodes())
 
+    # -------------------------------------------------------- serialization
+
+    def _all_nodes(self) -> list[Node]:
+        """Every node of the forest, including nodes reachable only through
+        backward (predecessor) links — same-version root replacement can
+        drop a node from the registry while scans still ride its link."""
+        seen: set[int] = set()
+        out: list[Node] = []
+        stack: list[Node] = list(self._roots)
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            out.append(node)
+            if not node.is_leaf:
+                stack.extend(e.child for e in node.entries())
+            stack.extend(node.predecessors)
+        return out
+
+    def dump_state(self) -> dict:
+        """Plain-data state of the whole forest (snapshot payloads).
+
+        The node graph is flattened into a table indexed by dense ids so
+        serialization never recurses through child or predecessor links.
+        """
+        nodes = self._all_nodes()
+        node_ids = {id(n): i for i, n in enumerate(nodes)}
+        cfg = self.config
+        return {
+            "config": (cfg.block_capacity, cfg.weak_min, cfg.epsilon),
+            "now": self._now,
+            "live_records": self._live_records,
+            "total_versions": self._total_versions,
+            "root_starts": list(self._root_starts),
+            "roots": [node_ids[id(r)] for r in self._roots],
+            "nodes": [n.dump_state(node_ids) for n in nodes],
+        }
+
+    @classmethod
+    def load_state(cls, state: dict) -> "MVBT":
+        """Rebuild a tree from :meth:`dump_state` output."""
+        capacity, weak_min, epsilon = state["config"]
+        tree = cls(MVBTConfig(capacity, weak_min, epsilon))
+        shells = [Node.shell_from_state(s) for s in state["nodes"]]
+        for node, node_state in zip(shells, state["nodes"]):
+            node.restore_entries(node_state, shells)
+            node.predecessors = [
+                shells[i] for i in node_state["predecessors"]
+            ]
+        tree._root_starts = list(state["root_starts"])
+        tree._roots = [shells[i] for i in state["roots"]]
+        tree._now = state["now"]
+        tree._live_records = state["live_records"]
+        tree._total_versions = state["total_versions"]
+        return tree
+
     # ----------------------------------------------------------------- audit
 
     def check_invariants(self) -> None:

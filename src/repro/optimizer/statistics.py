@@ -31,6 +31,17 @@ class Statistics:
         histogram.build(graph)
         return cls(histogram, graph)
 
+    @classmethod
+    def from_histogram(
+        cls, histogram: TemporalHistogram, dictionary
+    ) -> "Statistics":
+        """Attach an already-built histogram (snapshot restore path)."""
+        stats = cls.__new__(cls)
+        stats.histogram = histogram
+        stats.dictionary = dictionary
+        stats._cache = {}
+        return stats
+
     def clear_cache(self) -> None:
         self._cache = {}
 

@@ -1,0 +1,38 @@
+"""The durable, concurrent serving layer (``repro-tx serve``).
+
+Builds the paper's in-memory engine out into a system you can leave
+running: a write-ahead log and binary snapshots for durability
+(:mod:`~repro.service.wal`, :mod:`~repro.service.snapshot`), a
+single-writer/multi-reader store with revision-pinned reads
+(:mod:`~repro.service.store`), and a stdlib HTTP SPARQLT endpoint with
+admission control (:mod:`~repro.service.server`).
+"""
+
+from .snapshot import (
+    SNAPSHOT_MAGIC,
+    SnapshotError,
+    is_snapshot,
+    load_snapshot,
+    save_snapshot,
+)
+from .server import TemporalService, serve
+from .store import ReadWriteLock, StoreError, TemporalStore
+from .wal import WAL_MAGIC, WalError, WalRecord, WriteAheadLog, read_records
+
+__all__ = [
+    "SNAPSHOT_MAGIC",
+    "SnapshotError",
+    "is_snapshot",
+    "load_snapshot",
+    "save_snapshot",
+    "TemporalService",
+    "serve",
+    "ReadWriteLock",
+    "StoreError",
+    "TemporalStore",
+    "WAL_MAGIC",
+    "WalError",
+    "WalRecord",
+    "WriteAheadLog",
+    "read_records",
+]

@@ -1,0 +1,297 @@
+"""HTTP SPARQLT endpoint over a :class:`~repro.service.store.TemporalStore`.
+
+A stdlib-only serving layer (``http.server.ThreadingHTTPServer``): one
+thread per connection, with admission control layered on top —
+
+* a bounded semaphore caps in-flight requests (``max_inflight``); a full
+  server answers **503** instead of queueing unboundedly, and
+* each admitted request runs on a worker pool with a deadline
+  (``request_timeout``); overruns answer **504** (the worker finishes in
+  the background — the MVBT readers are safe to abandon).
+
+Endpoints::
+
+    GET  /healthz       liveness + store revision / live fact count
+    GET  /metrics       the obs registry (JSON; ?format=text for humans)
+    POST /query         {"query": "...", "profile": false} -> rows
+    POST /update        {"op": "insert"|"delete", "subject": ..., ...}
+                        or {"updates": [...]} for a batch
+    POST /checkpoint    snapshot + WAL truncation
+
+Temporal bindings serialize as ``[[start, end|null], ...]`` — ``null``
+marks a still-live period (the paper's *NOW*).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlparse, parse_qs
+
+from ..model.time import NOW, PeriodSet, TimeError, date_to_chronon
+from ..mvbt.tree import DuplicateKeyError, TimeOrderError
+from ..obs import metrics as _metrics
+from ..sparqlt.errors import SparqltError
+from .store import StoreError, TemporalStore
+
+_REQUESTS = _metrics.counter("service.server.requests")
+_REJECTED = _metrics.counter("service.server.rejected")
+_TIMEOUTS = _metrics.counter("service.server.timeouts")
+_REQUEST_TIMER = _metrics.REGISTRY.timer_stat("service.server.request")
+
+#: Largest accepted request body (64 MiB) — guards the u32 length read.
+_MAX_BODY = 64 * 1024 * 1024
+
+
+class ServiceUnavailable(Exception):
+    """Raised internally when admission control rejects a request."""
+
+
+def _encode_value(value):
+    if isinstance(value, PeriodSet):
+        return [
+            [p.start, None if p.end == NOW else p.end] for p in value
+        ]
+    return value
+
+
+def _parse_time(value) -> int:
+    """An update's time: a chronon int or an ISO date string."""
+    if isinstance(value, bool):
+        raise ValueError(f"bad time value: {value!r}")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        return date_to_chronon(value)
+    raise ValueError(f"bad time value: {value!r}")
+
+
+class TemporalService(ThreadingHTTPServer):
+    """The HTTP server; owns the store and the admission machinery."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        store: TemporalStore,
+        address: tuple[str, int] = ("127.0.0.1", 0),
+        *,
+        max_inflight: int = 8,
+        request_timeout: float | None = 30.0,
+        admission_timeout: float = 0.05,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.store = store
+        self.max_inflight = max_inflight
+        self.request_timeout = request_timeout
+        #: how long a request waits for an admission slot before 503.
+        self.admission_timeout = admission_timeout
+        self._slots = threading.BoundedSemaphore(max_inflight)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_inflight, thread_name_prefix="repro-serve"
+        )
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @contextlib.contextmanager
+    def admitted(self):
+        """Acquire an in-flight slot or raise :class:`ServiceUnavailable`."""
+        if not self._slots.acquire(timeout=self.admission_timeout):
+            raise ServiceUnavailable
+        try:
+            yield
+        finally:
+            self._slots.release()
+
+    def run_with_deadline(self, fn):
+        """Run ``fn`` on the pool, bounded by ``request_timeout``."""
+        future = self._pool.submit(fn)
+        try:
+            return future.result(timeout=self.request_timeout)
+        except FutureTimeoutError:
+            raise
+
+    def shutdown(self) -> None:
+        super().shutdown()
+        self._pool.shutdown(wait=False)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    # Nagle + delayed ACK costs ~40 ms per keep-alive round trip; small
+    # JSON responses want the segment pushed immediately.
+    disable_nagle_algorithm = True
+    server: TemporalService
+
+    # --------------------------------------------------------------- plumbing
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging would drown test output; metrics cover it.
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length > _MAX_BODY:
+            raise ValueError("request body too large")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValueError("empty request body")
+        payload = json.loads(raw)
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    # ----------------------------------------------------------------- routes
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        parsed = urlparse(self.path)
+        if _metrics.ENABLED:
+            _REQUESTS.inc()
+        if parsed.path == "/healthz":
+            store = self.server.store
+            self._send_json(200, {
+                "status": "ok",
+                "revision": store.revision,
+                "live_facts": store.live_facts,
+            })
+        elif parsed.path == "/metrics":
+            wants_text = parse_qs(parsed.query).get("format") == ["text"]
+            if wants_text:
+                body = _metrics.REGISTRY.render_text().encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", "text/plain; charset=utf-8")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            else:
+                self._send_json(200, _metrics.REGISTRY.snapshot())
+        else:
+            self._send_error(404, f"no such endpoint: {parsed.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        import time as _time
+
+        started = _time.perf_counter()
+        if _metrics.ENABLED:
+            _REQUESTS.inc()
+        path = urlparse(self.path).path
+        handler = {
+            "/query": self._handle_query,
+            "/update": self._handle_update,
+            "/checkpoint": self._handle_checkpoint,
+        }.get(path)
+        if handler is None:
+            self._send_error(404, f"no such endpoint: {path}")
+            return
+        try:
+            payload = self._read_body() if path != "/checkpoint" else {}
+        except (ValueError, json.JSONDecodeError) as error:
+            self._send_error(400, f"bad request body: {error}")
+            return
+        try:
+            with self.server.admitted():
+                result = self.server.run_with_deadline(
+                    lambda: handler(payload)
+                )
+            self._send_json(200, result)
+        except ServiceUnavailable:
+            if _metrics.ENABLED:
+                _REJECTED.inc()
+            self._send_error(503, "server saturated, retry later")
+        except FutureTimeoutError:
+            if _metrics.ENABLED:
+                _TIMEOUTS.inc()
+            self._send_error(504, "request deadline exceeded")
+        except (SparqltError, ValueError, TimeError) as error:
+            self._send_error(400, str(error))
+        except (DuplicateKeyError, TimeOrderError, KeyError,
+                StoreError) as error:
+            self._send_error(409, str(error))
+        except Exception as error:  # pragma: no cover - defensive boundary
+            self._send_error(500, f"internal error: {error}")
+        finally:
+            if _metrics.ENABLED:
+                _REQUEST_TIMER.observe(_time.perf_counter() - started)
+
+    # ---------------------------------------------------------- POST bodies
+
+    def _handle_query(self, payload: dict) -> dict:
+        text = payload.get("query")
+        if not isinstance(text, str) or not text.strip():
+            raise ValueError("missing 'query' string")
+        result = self.server.store.query(
+            text, profile=bool(payload.get("profile"))
+        )
+        response = {
+            "variables": result.variables,
+            "rows": [
+                {name: _encode_value(value) for name, value in row.items()}
+                for row in result.rows
+            ],
+            "revision": result.revision,
+        }
+        if result.profile is not None:
+            response["profile"] = result.profile.to_dict()
+        return response
+
+    def _handle_update(self, payload: dict) -> dict:
+        updates = payload.get("updates")
+        if updates is None:
+            updates = [payload]
+        if not isinstance(updates, list) or not updates:
+            raise ValueError("'updates' must be a non-empty list")
+        store = self.server.store
+        last_lsn = None
+        for update in updates:
+            if not isinstance(update, dict):
+                raise ValueError("each update must be a JSON object")
+            op = update.get("op")
+            if op not in ("insert", "delete"):
+                raise ValueError(f"bad op: {op!r}")
+            terms = []
+            for field in ("subject", "predicate", "object"):
+                term = update.get(field)
+                if not isinstance(term, str) or not term:
+                    raise ValueError(f"missing '{field}' string")
+                terms.append(term)
+            time = _parse_time(update.get("time"))
+            if op == "insert":
+                last_lsn = store.insert(*terms, time)
+            else:
+                last_lsn = store.delete(*terms, time)
+        return {"applied": len(updates), "revision": last_lsn}
+
+    def _handle_checkpoint(self, payload: dict) -> dict:
+        path = self.server.store.checkpoint()
+        return {"snapshot": str(path),
+                "revision": self.server.store.revision}
+
+
+def serve(
+    store: TemporalStore,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **kwargs,
+) -> TemporalService:
+    """Create a service bound to ``host:port`` (not yet serving).
+
+    Call ``serve_forever()`` on the result (or run it on a thread); the
+    bound port is ``service.port`` — useful with ``port=0`` in tests.
+    """
+    return TemporalService(store, (host, port), **kwargs)

@@ -1,0 +1,364 @@
+"""The durable, concurrent temporal store behind ``repro-tx serve``.
+
+:class:`TemporalStore` turns the bulk-loaded, single-shot :class:`~repro.engine.RDFTX`
+library into a long-running service:
+
+* **Durability** — every update is appended to a write-ahead log
+  (:mod:`repro.service.wal`) *before* it is applied; checkpoints write a
+  binary snapshot (:mod:`repro.service.snapshot`) and truncate the log.
+  Recovery = load snapshot + replay the WAL records past its LSN.
+* **Concurrency** — single-writer / multi-reader.  Writers are serialized
+  by a mutex and apply under the write side of a readers-writer lock;
+  queries run concurrently under the read side, pinned to the revision
+  epoch (the last applied LSN) they started at.  This leans on the MVBT's
+  multiversion structure: structure changes never destroy old entries, so
+  a reader at revision *r* keeps seeing exactly the state at *r*.
+* **Admission of bad updates** — updates are validated against the
+  maintained graph before logging, so the WAL stays free of no-op records
+  (duplicate inserts, deletes of dead facts, time-order violations).
+
+Checkpoints run while readers continue (only writers pause): the engine is
+immutable while the writer mutex is held, which is all serialization needs.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from pathlib import Path
+
+from ..engine.engine import RDFTX, QueryResult
+from ..model.graph import TemporalGraph
+from ..model.time import MIN_TIME, NOW
+from ..mvbt.tree import DuplicateKeyError, MVBTConfig, TimeOrderError
+from ..obs import metrics as _metrics
+from .snapshot import load_snapshot, save_snapshot
+from .wal import WriteAheadLog
+
+_UPDATES = _metrics.counter("service.store.updates")
+_QUERIES = _metrics.counter("service.store.queries")
+_CHECKPOINTS = _metrics.counter("service.store.checkpoints")
+_REPLAYED = _metrics.counter("service.store.replayed_records")
+_REPLAY_SKIPPED = _metrics.counter("service.store.replay_skipped")
+
+
+class StoreError(Exception):
+    """Misuse of the store (e.g. loading a dataset into a non-empty one)."""
+
+
+class ReadWriteLock:
+    """A readers-writer lock with writer preference.
+
+    Many readers may hold the lock at once; a writer waits for them to
+    drain and then holds it exclusively.  Arriving readers queue behind a
+    waiting writer so a steady query stream cannot starve updates (the
+    serving layer's writes are short: four tree inserts).
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextlib.contextmanager
+    def read_locked(self):
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextlib.contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+class TemporalStore:
+    """A durable RDF-TX engine with single-writer/multi-reader serving.
+
+    Usage::
+
+        with TemporalStore("data/") as store:
+            store.load_dataset(graph)          # once, on an empty store
+            store.insert("UC", "president", "Carol_Christ", chronon)
+            result = store.query("SELECT ?o {UC president ?o ?t}")
+            print(result.revision)
+    """
+
+    SNAPSHOT_NAME = "store.snap"
+    WAL_NAME = "store.wal"
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        use_optimizer: bool = True,
+        config: MVBTConfig | None = None,
+        group_size: int = 32,
+        fsync: bool = True,
+        checkpoint_every: int | None = None,
+        stats_refresh_threshold: int | None = 256,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.snapshot_path = self.directory / self.SNAPSHOT_NAME
+        self.wal_path = self.directory / self.WAL_NAME
+        #: serializes writers (updates, checkpoints, load/close).
+        self._writer = threading.Lock()
+        #: readers-writer lock guarding the in-memory engine.
+        self._rw = ReadWriteLock()
+        self.checkpoint_every = checkpoint_every
+        self._since_checkpoint = 0
+        self._closed = False
+
+        snapshot_lsn = 0
+        if self.snapshot_path.exists():
+            self.engine, meta = load_snapshot(
+                self.snapshot_path, use_optimizer=use_optimizer
+            )
+            self.engine.stats_refresh_threshold = stats_refresh_threshold
+            snapshot_lsn = meta["last_lsn"]
+        else:
+            optimizer = None
+            if use_optimizer:
+                from ..optimizer import Optimizer
+
+                optimizer = Optimizer()
+            self.engine = RDFTX(
+                config=config, optimizer=optimizer,
+                stats_refresh_threshold=stats_refresh_threshold,
+            )
+            self.engine.load(TemporalGraph())
+        self._revision = snapshot_lsn
+
+        self._wal = WriteAheadLog(
+            self.wal_path, group_size=group_size, fsync=fsync,
+            start_lsn=snapshot_lsn + 1,
+        )
+        self._replay(snapshot_lsn)
+
+    # ------------------------------------------------------------- recovery
+
+    def _replay(self, snapshot_lsn: int) -> None:
+        """Re-apply WAL records newer than the snapshot.
+
+        Records at or below ``snapshot_lsn`` are already inside the
+        snapshot (a crash between snapshot rename and WAL truncation
+        leaves them behind); records that no longer apply are skipped —
+        they can only arise from logs written by interrupted older runs,
+        and skipping reproduces the original (failed) outcome.
+        """
+        for record in self._wal.recovered:
+            if record.lsn <= snapshot_lsn:
+                continue
+            try:
+                self._apply(record.op, record.subject, record.predicate,
+                            record.object, record.time)
+            except (DuplicateKeyError, TimeOrderError, KeyError, ValueError):
+                if _metrics.ENABLED:
+                    _REPLAY_SKIPPED.inc()
+            else:
+                if _metrics.ENABLED:
+                    _REPLAYED.inc()
+            self._revision = record.lsn
+            self._since_checkpoint += 1
+
+    # -------------------------------------------------------------- loading
+
+    def load_dataset(self, graph: TemporalGraph,
+                     compress: bool = True) -> None:
+        """Bulk-load an initial dataset into an *empty* store.
+
+        Bulk loading bypasses the WAL (logging millions of historical
+        facts would dwarf the snapshot), so the load is made durable by an
+        immediate checkpoint.
+        """
+        with self._writer:
+            if self._revision != 0 or len(self.engine._graph or ()) != 0:
+                raise StoreError("load_dataset requires an empty store")
+            with self._rw.write_locked():
+                self.engine.load(graph, compress=compress)
+        self.checkpoint()
+
+    # -------------------------------------------------------------- updates
+
+    def insert(self, subject: str, predicate: str, object: str,
+               time: int) -> int:
+        """Durably start a fact at ``time``; returns the update's LSN."""
+        return self._update("insert", subject, predicate, object, time)
+
+    def delete(self, subject: str, predicate: str, object: str,
+               time: int) -> int:
+        """Durably end a live fact at ``time``; returns the update's LSN."""
+        return self._update("delete", subject, predicate, object, time)
+
+    def _update(self, op: str, subject: str, predicate: str, object: str,
+                time: int) -> int:
+        with self._writer:
+            if self._closed:
+                raise StoreError("store is closed")
+            self._validate(op, subject, predicate, object, time)
+            # WAL first: once append returns, the update survives a
+            # process kill (and a machine crash after the group commit).
+            lsn = self._wal.append(op, subject, predicate, object, time)
+            with self._rw.write_locked():
+                self._apply(op, subject, predicate, object, time)
+                self._revision = lsn
+            self._since_checkpoint += 1
+            if _metrics.ENABLED:
+                _UPDATES.inc()
+        if (
+            self.checkpoint_every is not None
+            and self._since_checkpoint >= self.checkpoint_every
+        ):
+            self.checkpoint()
+        return lsn
+
+    def _validate(self, op: str, subject: str, predicate: str, object: str,
+                  time: int) -> None:
+        if not (MIN_TIME <= time < NOW):
+            raise ValueError(f"update time {time!r} outside [{MIN_TIME}, NOW)")
+        watermark = max(
+            tree.current_time for tree in self.engine.indexes.values()
+        )
+        if time < watermark:
+            raise TimeOrderError(
+                f"update at {time} before watermark {watermark}"
+            )
+        graph = self.engine._graph
+        live_since = (
+            graph.live_since(subject, predicate, object)
+            if graph is not None else None
+        )
+        if op == "insert":
+            if live_since is not None:
+                raise DuplicateKeyError(
+                    f"fact already live: ({subject}, {predicate}, {object})"
+                )
+        elif op == "delete":
+            if live_since is None:
+                raise KeyError(
+                    f"fact not live: ({subject}, {predicate}, {object})"
+                )
+            if time <= live_since:
+                raise TimeOrderError(
+                    f"delete at {time} not after the fact's start "
+                    f"{live_since}"
+                )
+        else:
+            raise ValueError(f"unknown operation: {op!r}")
+
+    def _apply(self, op: str, subject: str, predicate: str, object: str,
+               time: int) -> None:
+        if op == "insert":
+            self.engine.insert(subject, predicate, object, time)
+        elif op == "delete":
+            self.engine.delete(subject, predicate, object, time)
+        else:
+            raise ValueError(f"unknown operation: {op!r}")
+
+    def sync(self) -> None:
+        """Force the WAL's pending group to stable storage."""
+        with self._writer:
+            self._wal.sync()
+
+    # -------------------------------------------------------------- queries
+
+    def query(self, text: str, profile: bool = False) -> QueryResult:
+        """Evaluate a SPARQLT query under the read lock.
+
+        The result's ``revision`` is the store revision (last applied LSN)
+        the reader was pinned to.
+        """
+        with self._rw.read_locked():
+            revision = self._revision
+            result = self.engine.query(text, profile=profile)
+        result.revision = revision
+        if _metrics.ENABLED:
+            _QUERIES.inc()
+        return result
+
+    @property
+    def revision(self) -> int:
+        """LSN of the last applied update (0 for a fresh store)."""
+        return self._revision
+
+    @property
+    def live_facts(self) -> int:
+        return self.engine.indexes["spo"].live_records
+
+    # ---------------------------------------------------------- maintenance
+
+    def checkpoint(self) -> Path:
+        """Snapshot the engine and truncate the WAL.
+
+        Holds the writer mutex (no update can interleave) but *not* the
+        read lock — the engine is immutable while no writer runs, so
+        readers keep serving during serialization.  The snapshot is
+        renamed into place before the WAL is truncated; a crash in
+        between merely leaves records the next recovery skips by LSN.
+        """
+        with self._writer:
+            if self._closed:
+                raise StoreError("store is closed")
+            self._wal.sync()
+            path = save_snapshot(
+                self.engine, self.snapshot_path, last_lsn=self._revision
+            )
+            self._wal.truncate()
+            self._since_checkpoint = 0
+            if _metrics.ENABLED:
+                _CHECKPOINTS.inc()
+            return path
+
+    def refresh_statistics(self) -> bool:
+        """Eagerly rebuild optimizer statistics (writer-exclusive)."""
+        with self._writer, self._rw.write_locked():
+            return self.engine.refresh_statistics()
+
+    def close(self) -> None:
+        """Flush the WAL and release the log handle (no implicit
+        checkpoint — recovery replays the log)."""
+        with self._writer:
+            if self._closed:
+                return
+            self._closed = True
+            self._wal.close()
+
+    def __enter__(self) -> "TemporalStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

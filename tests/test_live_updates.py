@@ -1,0 +1,212 @@
+"""Live updates on a loaded engine: visibility, caches, statistics.
+
+The paper's engine is bulk-loaded once; these tests pin down the behaviour
+of the update path the serving layer depends on — updates must be visible
+through every index order immediately, compiled-plan caches must not serve
+stale plans, and optimizer statistics track their own staleness.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine import RDFTX
+from repro.model import NOW, Period, PeriodSet, TemporalGraph, date_to_chronon
+from repro.mvbt.tree import MVBTConfig
+from repro.optimizer import Optimizer
+
+D = date_to_chronon
+
+# One query per index order choice: the access path is forced by which
+# positions are bound (see repro.engine.patterns).
+ORDER_PROBES = {
+    "spo": "SELECT ?t {Org leader Alice ?t}",       # S,P,O bound
+    "sop": "SELECT ?p {Org ?p Alice ?t}",           # S,O bound
+    "pos": "SELECT ?s {?s leader Alice ?t}",        # P,O bound
+    "ops": "SELECT ?s ?p {?s ?p Alice ?t}",         # O bound
+}
+
+
+def small_graph():
+    g = TemporalGraph()
+    g.add("Org", "founded", "1868", D("01/01/2000"))
+    g.add("Org", "leader", "Bob", D("01/01/2001"), D("01/01/2010"))
+    g.add("Other", "leader", "Carol", D("01/01/2005"))
+    return g
+
+
+@pytest.fixture()
+def engine():
+    return RDFTX.from_graph(
+        small_graph(),
+        config=MVBTConfig(block_capacity=8, weak_min=2, epsilon=1),
+        optimizer=Optimizer(),
+    )
+
+
+class TestVisibilityAcrossOrders:
+    @pytest.mark.parametrize("order", sorted(ORDER_PROBES))
+    def test_insert_visible_through_each_order(self, engine, order):
+        # Every probe constrains the pattern to the Alice fact, so rows
+        # appear exactly when the insert is visible via that access path.
+        probe = ORDER_PROBES[order]
+        assert engine.query(probe).rows == []  # Alice not known yet
+        engine.insert("Org", "leader", "Alice", D("01/01/2015"))
+        after = engine.query(probe)
+        assert len(after.rows) == 1
+        expected = {"s": "Org", "p": "leader", "o": "Alice"}
+        for name, value in after.rows[0].items():
+            if name in expected:
+                assert value == expected[name]
+
+    @pytest.mark.parametrize("order", sorted(ORDER_PROBES))
+    def test_delete_ends_period_through_each_order(self, engine, order):
+        engine.insert("Org", "leader", "Alice", D("01/01/2015"))
+        engine.delete("Org", "leader", "Alice", D("01/01/2018"))
+        probe = ORDER_PROBES[order]
+        # The fact still matches historically...
+        assert len(engine.query(probe).rows) == 1
+        # ...but not in a window after the delete.
+        result = engine.query(
+            probe[:-1] + " . FILTER(YEAR(?t) = 2020)}"
+        )
+        assert result.rows == []
+
+    def test_full_cycle_period(self, engine):
+        engine.insert("Org", "leader", "Alice", D("01/01/2015"))
+        result = engine.query("SELECT ?t {Org leader Alice ?t}")
+        (row,) = result
+        assert row["t"] == PeriodSet([Period(D("01/01/2015"), NOW)])
+        engine.delete("Org", "leader", "Alice", D("01/01/2018"))
+        result = engine.query("SELECT ?t {Org leader Alice ?t}")
+        (row,) = result
+        assert row["t"] == PeriodSet(
+            [Period(D("01/01/2015"), D("01/01/2018"))]
+        )
+
+    def test_reinsert_after_delete(self, engine):
+        engine.insert("Org", "leader", "Alice", D("01/01/2015"))
+        engine.delete("Org", "leader", "Alice", D("01/01/2018"))
+        engine.insert("Org", "leader", "Alice", D("01/01/2020"))
+        result = engine.query("SELECT ?t {Org leader Alice ?t}")
+        (row,) = result
+        assert row["t"] == PeriodSet([
+            Period(D("01/01/2015"), D("01/01/2018")),
+            Period(D("01/01/2020"), NOW),
+        ])
+
+
+class TestPlanCacheInvalidation:
+    def test_repeat_query_sees_update(self, engine):
+        probe = "SELECT ?o {Org leader ?o ?t}"
+        first = engine.query(probe)  # populates the plan cache
+        assert "Alice" not in first.column("o")
+        assert probe in engine._plan_cache or engine._plan_cache
+        engine.insert("Org", "leader", "Alice", D("01/01/2015"))
+        assert engine._plan_cache == {}
+        assert "Alice" in engine.query(probe).column("o")
+
+    def test_new_term_usable_after_insert(self, engine):
+        # "Alice" is not in the dictionary before the insert; a cached
+        # plan compiled earlier must not pin the term's absence either.
+        probe = "SELECT ?t {Org leader Alice ?t}"
+        assert engine.query(probe).rows == []
+        engine.insert("Org", "leader", "Alice", D("01/01/2015"))
+        assert len(engine.query(probe).rows) == 1
+
+
+class TestStatisticsStaleness:
+    def test_dirty_counter_tracks_updates(self, engine):
+        assert engine.statistics_dirty == 0
+        engine.insert("Org", "leader", "Alice", D("01/01/2015"))
+        engine.delete("Org", "leader", "Alice", D("01/01/2016"))
+        assert engine.statistics_dirty == 2
+
+    def test_manual_refresh_resets_and_rebuilds(self, engine):
+        engine.query(ORDER_PROBES["spo"])  # force statistics build
+        total_before = engine.optimizer.statistics.histogram.total_triples
+        engine.insert("Org", "leader", "Alice", D("01/01/2015"))
+        assert engine.refresh_statistics() is True
+        assert engine.statistics_dirty == 0
+        total_after = engine.optimizer.statistics.histogram.total_triples
+        assert total_after == total_before + 1
+
+    def test_auto_refresh_at_threshold(self):
+        engine = RDFTX.from_graph(small_graph(), optimizer=Optimizer())
+        engine.stats_refresh_threshold = 3
+        for i in range(3):
+            engine.insert(f"S{i}", "p", "o", D("01/01/2015") + i)
+        assert engine.statistics_dirty == 3
+        engine.query("SELECT ?s {?s p o ?t}")  # compile triggers refresh
+        assert engine.statistics_dirty == 0
+        assert engine.optimizer.statistics.histogram.total_triples == 6
+
+    def test_threshold_none_disables_auto_refresh(self):
+        engine = RDFTX.from_graph(small_graph(), optimizer=Optimizer())
+        engine.stats_refresh_threshold = None
+        for i in range(10):
+            engine.insert(f"S{i}", "p", "o", D("01/01/2015") + i)
+        engine.query("SELECT ?s {?s p o ?t}")
+        assert engine.statistics_dirty == 10
+
+    def test_no_optimizer_refresh_is_noop(self):
+        engine = RDFTX.from_graph(small_graph())
+        engine.insert("a", "b", "c", D("01/01/2015"))
+        assert engine.refresh_statistics() is False
+        assert engine.statistics_dirty == 0
+
+
+class TestGraphMaintenance:
+    def test_graph_tracks_live_updates(self, engine):
+        graph = engine._graph
+        n = len(graph)
+        engine.insert("Org", "leader", "Alice", D("01/01/2015"))
+        assert len(graph) == n + 1
+        assert graph.is_live("Org", "leader", "Alice")
+        engine.delete("Org", "leader", "Alice", D("01/01/2018"))
+        assert len(graph) == n + 1  # the fact remains, with a closed period
+        assert not graph.is_live("Org", "leader", "Alice")
+
+    def test_update_at_now_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.insert("a", "b", "c", NOW)
+        with pytest.raises(ValueError):
+            engine.delete("Org", "founded", "1868", NOW)
+
+
+class TestConcurrentReads:
+    def test_readers_during_write_burst(self, engine):
+        # Pure-engine version of the store-level test: the MVBT is
+        # multiversion, so snapshot reads stay consistent while a single
+        # writer appends (the GIL serializes the structure mutations).
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    result = engine.query(
+                        "SELECT ?o ?t {Org leader ?o ?t}"
+                    )
+                    # Bob's closed period is immutable history: every
+                    # snapshot must report it identically.
+                    rows = {row["o"]: row["t"] for row in result.rows}
+                    assert rows["Bob"] == PeriodSet(
+                        [Period(D("01/01/2001"), D("01/01/2010"))]
+                    )
+                except Exception as error:  # noqa: BLE001
+                    errors.append(error)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        try:
+            base = D("01/01/2015")
+            for i in range(120):
+                engine.insert(f"Person_{i}", "member", "Org", base + i)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=30)
+        assert errors == []

@@ -1,0 +1,238 @@
+"""HTTP endpoint: routes, JSON encoding, admission control, error mapping."""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.model import NOW, date_to_chronon
+from repro.service import TemporalStore, serve
+
+from tests.test_service_store import fixture_graph
+
+D = date_to_chronon
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with TemporalStore(tmp_path) as s:
+        s.load_dataset(fixture_graph())
+        yield s
+
+
+@pytest.fixture()
+def service(store):
+    svc = serve(store, port=0, max_inflight=4, request_timeout=10.0)
+    thread = threading.Thread(target=svc.serve_forever, daemon=True)
+    thread.start()
+    yield svc
+    svc.shutdown()
+    thread.join(timeout=10)
+
+
+def _request(service, method, path, payload=None):
+    conn = http.client.HTTPConnection("127.0.0.1", service.port, timeout=15)
+    try:
+        body = json.dumps(payload) if payload is not None else None
+        conn.request(method, path, body,
+                     {"Content-Type": "application/json"} if body else {})
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+class TestRoutes:
+    def test_healthz(self, service):
+        status, body = _request(service, "GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["revision"] == 0
+        assert body["live_facts"] == 3
+
+    def test_metrics_json(self, service):
+        status, body = _request(service, "GET", "/metrics")
+        assert status == 200
+        assert "counters" in body
+
+    def test_unknown_paths_404(self, service):
+        assert _request(service, "GET", "/nope")[0] == 404
+        assert _request(service, "POST", "/nope", {})[0] == 404
+
+    def test_query_rows_and_revision(self, service):
+        status, body = _request(service, "POST", "/query", {
+            "query": "SELECT ?o {UC president ?o ?t}",
+        })
+        assert status == 200
+        assert body["variables"] == ["o"]
+        assert sorted(row["o"] for row in body["rows"]) == [
+            "Janet_Napolitano", "Mark_Yudof",
+        ]
+        assert body["revision"] == 0
+
+    def test_query_periods_encode_now_as_null(self, service):
+        _, body = _request(service, "POST", "/query", {
+            "query": "SELECT ?o ?t {UC president ?o ?t}",
+        })
+        periods = {row["o"]: row["t"] for row in body["rows"]}
+        assert periods["Mark_Yudof"] == [
+            [D("06/16/2008"), D("09/30/2013")]
+        ]
+        assert periods["Janet_Napolitano"] == [[D("09/30/2013"), None]]
+        assert NOW not in [
+            end for spans in periods.values() for _, end in spans
+        ]
+
+    def test_query_with_profile(self, service):
+        _, body = _request(service, "POST", "/query", {
+            "query": "SELECT ?o {UC president ?o ?t}",
+            "profile": True,
+        })
+        assert "profile" in body
+        assert "plan" in body["profile"]
+        assert body["profile"]["total_ms"] >= 0
+
+    def test_update_insert_then_visible(self, service, store):
+        status, body = _request(service, "POST", "/update", {
+            "op": "insert", "subject": "UC", "predicate": "chancellor",
+            "object": "Carol_Christ", "time": "2017-07-01",
+        })
+        assert status == 200
+        assert body == {"applied": 1, "revision": 1}
+        _, result = _request(service, "POST", "/query", {
+            "query": "SELECT ?o {UC chancellor ?o ?t}",
+        })
+        assert [row["o"] for row in result["rows"]] == ["Carol_Christ"]
+        assert result["revision"] == 1
+
+    def test_update_batch(self, service):
+        status, body = _request(service, "POST", "/update", {"updates": [
+            {"op": "insert", "subject": "s1", "predicate": "p",
+             "object": "o", "time": D("01/01/2016")},
+            {"op": "insert", "subject": "s2", "predicate": "p",
+             "object": "o", "time": D("01/02/2016")},
+            {"op": "delete", "subject": "s1", "predicate": "p",
+             "object": "o", "time": D("01/03/2016")},
+        ]})
+        assert status == 200
+        assert body == {"applied": 3, "revision": 3}
+
+    def test_checkpoint_endpoint(self, service, store):
+        _request(service, "POST", "/update", {
+            "op": "insert", "subject": "a", "predicate": "b",
+            "object": "c", "time": D("01/01/2016"),
+        })
+        status, body = _request(service, "POST", "/checkpoint")
+        assert status == 200
+        assert body["revision"] == 1
+        assert body["snapshot"].endswith("store.snap")
+
+
+class TestErrorMapping:
+    def test_malformed_json_400(self, service):
+        conn = http.client.HTTPConnection("127.0.0.1", service.port,
+                                          timeout=15)
+        try:
+            conn.request("POST", "/query", "{not json",
+                         {"Content-Type": "application/json"})
+            assert conn.getresponse().status == 400
+        finally:
+            conn.close()
+
+    def test_missing_query_400(self, service):
+        assert _request(service, "POST", "/query", {})[0] == 400
+
+    def test_parse_error_400(self, service):
+        status, body = _request(service, "POST", "/query",
+                                {"query": "SELECT ???"})
+        assert status == 400
+        assert "error" in body
+
+    def test_bad_op_400(self, service):
+        status, _ = _request(service, "POST", "/update", {
+            "op": "upsert", "subject": "a", "predicate": "b",
+            "object": "c", "time": 1,
+        })
+        assert status == 400
+
+    def test_bad_time_400(self, service):
+        status, _ = _request(service, "POST", "/update", {
+            "op": "insert", "subject": "a", "predicate": "b",
+            "object": "c", "time": "not-a-date",
+        })
+        assert status == 400
+
+    def test_duplicate_insert_409(self, service):
+        update = {"op": "insert", "subject": "a", "predicate": "b",
+                  "object": "c", "time": D("01/01/2016")}
+        assert _request(service, "POST", "/update", update)[0] == 200
+        status, body = _request(service, "POST", "/update", update)
+        assert status == 409
+        assert "already live" in body["error"]
+
+    def test_delete_missing_409(self, service):
+        status, _ = _request(service, "POST", "/update", {
+            "op": "delete", "subject": "ghost", "predicate": "b",
+            "object": "c", "time": D("01/01/2016"),
+        })
+        assert status == 409
+
+
+class TestAdmissionControl:
+    def test_saturated_server_responds_503(self, store, monkeypatch):
+        release = threading.Event()
+        original = store.query
+
+        def slow_query(text, profile=False):
+            release.wait(timeout=30)
+            return original(text, profile=profile)
+
+        monkeypatch.setattr(store, "query", slow_query)
+        svc = serve(store, port=0, max_inflight=1, request_timeout=30.0,
+                    admission_timeout=0.05)
+        thread = threading.Thread(target=svc.serve_forever, daemon=True)
+        thread.start()
+        try:
+            statuses = []
+
+            def fire():
+                statuses.append(_request(svc, "POST", "/query", {
+                    "query": "SELECT ?o {UC president ?o ?t}",
+                })[0])
+
+            first = threading.Thread(target=fire)
+            first.start()
+            time.sleep(0.3)  # let it occupy the only slot
+            second = threading.Thread(target=fire)
+            second.start()
+            second.join(timeout=15)
+            release.set()
+            first.join(timeout=15)
+            assert sorted(statuses) == [200, 503]
+        finally:
+            release.set()
+            svc.shutdown()
+            thread.join(timeout=10)
+
+    def test_deadline_overrun_responds_504(self, store, monkeypatch):
+        original = store.query
+
+        def slow_query(text, profile=False):
+            time.sleep(1.0)
+            return original(text, profile=profile)
+
+        monkeypatch.setattr(store, "query", slow_query)
+        svc = serve(store, port=0, max_inflight=2, request_timeout=0.1)
+        thread = threading.Thread(target=svc.serve_forever, daemon=True)
+        thread.start()
+        try:
+            status, body = _request(svc, "POST", "/query", {
+                "query": "SELECT ?o {UC president ?o ?t}",
+            })
+            assert status == 504
+            assert "deadline" in body["error"]
+        finally:
+            svc.shutdown()
+            thread.join(timeout=10)

@@ -1,0 +1,159 @@
+"""Snapshots: full-engine round trip, magic detection, corruption handling."""
+
+import pickle
+
+import pytest
+
+from repro.engine import RDFTX
+from repro.model import NOW, TemporalGraph, date_to_chronon
+from repro.mvbt.tree import MVBTConfig
+from repro.optimizer import Optimizer
+from repro.service.snapshot import (
+    SNAPSHOT_MAGIC,
+    SnapshotError,
+    is_snapshot,
+    load_snapshot,
+    save_snapshot,
+)
+
+D = date_to_chronon
+
+QUERIES = [
+    "SELECT ?t {UC president Janet_Napolitano ?t}",
+    "SELECT ?budget {UC budget ?budget ?t . FILTER(YEAR(?t) = 2013)}",
+    "SELECT ?s ?o {?s president ?o ?t}",
+    "SELECT ?p ?o {UC ?p ?o ?t . FILTER(YEAR(?t) = 2014)}",
+]
+
+
+def _fixture_graph():
+    g = TemporalGraph()
+    g.add("UC", "president", "Mark_Yudof", D("06/16/2008"), D("09/30/2013"))
+    g.add("UC", "president", "Janet_Napolitano", D("09/30/2013"))
+    g.add("UC", "endowment", "10.3", D("07/01/2013"), D("07/01/2014"))
+    g.add("UC", "endowment", "13.1", D("07/01/2014"))
+    g.add("UC", "budget", "22.7", D("01/30/2013"), D("01/30/2015"))
+    g.add("UC", "budget", "25.46", D("01/30/2015"))
+    g.add("UM", "president", "Mary_Sue_Coleman", D("08/01/2002"),
+          D("07/01/2014"))
+    g.add("UM", "president", "Mark_Schlissel", D("07/01/2014"))
+    return g
+
+
+def _rows(engine, text):
+    return sorted(
+        tuple(sorted((k, str(v)) for k, v in row.items()))
+        for row in engine.query(text).rows
+    )
+
+
+@pytest.fixture()
+def engine():
+    return RDFTX.from_graph(
+        _fixture_graph(),
+        config=MVBTConfig(block_capacity=8, weak_min=2, epsilon=1),
+        optimizer=Optimizer(),
+    )
+
+
+class TestRoundTrip:
+    def test_queries_identical_after_reload(self, engine, tmp_path):
+        path = save_snapshot(engine, tmp_path / "e.snap")
+        restored, meta = load_snapshot(path)
+        assert meta["version"] == 1
+        for text in QUERIES:
+            assert _rows(restored, text) == _rows(engine, text)
+
+    def test_structure_preserved(self, engine, tmp_path):
+        save_snapshot(engine, tmp_path / "e.snap")
+        restored, _ = load_snapshot(tmp_path / "e.snap")
+        for name, tree in engine.indexes.items():
+            other = restored.indexes[name]
+            assert other.live_records == tree.live_records
+            assert other.current_time == tree.current_time
+            assert other.sizeof() == tree.sizeof()
+        assert restored.dictionary.max_id == engine.dictionary.max_id
+        assert len(restored._graph) == len(engine._graph)
+
+    def test_updates_after_reload(self, engine, tmp_path):
+        save_snapshot(engine, tmp_path / "e.snap")
+        restored, _ = load_snapshot(tmp_path / "e.snap")
+        t = restored.horizon + 10
+        restored.insert("UC", "president", "Michael_Drake", t)
+        result = restored.query("SELECT ?o {UC president ?o ?t}")
+        assert "Michael_Drake" in result.column("o")
+
+    def test_statistics_survive_without_rebuild(self, engine, tmp_path):
+        engine.query(QUERIES[0])  # force statistics to exist
+        histogram = engine.optimizer.statistics.histogram
+        save_snapshot(engine, tmp_path / "e.snap")
+        restored, _ = load_snapshot(tmp_path / "e.snap")
+        assert restored.optimizer is not None
+        assert restored.optimizer.statistics is not None
+        assert (restored.optimizer.statistics.histogram.total_triples
+                == histogram.total_triples)
+
+    def test_no_optimizer_load(self, engine, tmp_path):
+        save_snapshot(engine, tmp_path / "e.snap")
+        restored, _ = load_snapshot(tmp_path / "e.snap",
+                                    use_optimizer=False)
+        assert restored.optimizer is None
+        assert _rows(restored, QUERIES[2]) == _rows(engine, QUERIES[2])
+
+    def test_last_lsn_round_trip(self, engine, tmp_path):
+        save_snapshot(engine, tmp_path / "e.snap", last_lsn=42)
+        _, meta = load_snapshot(tmp_path / "e.snap")
+        assert meta["last_lsn"] == 42
+
+    def test_live_periods_preserved(self, engine, tmp_path):
+        save_snapshot(engine, tmp_path / "e.snap")
+        restored, _ = load_snapshot(tmp_path / "e.snap")
+        result = restored.query(
+            "SELECT ?t {UC president Janet_Napolitano ?t}"
+        )
+        (row,) = result
+        (period,) = list(row["t"])
+        assert period.end == NOW
+
+
+class TestFileFormat:
+    def test_is_snapshot(self, engine, tmp_path):
+        path = save_snapshot(engine, tmp_path / "e.snap")
+        assert is_snapshot(path)
+        other = tmp_path / "data.tnq"
+        other.write_text("UC president X 2013-01-01 now .\n")
+        assert not is_snapshot(other)
+        assert not is_snapshot(tmp_path / "missing")
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "x.snap"
+        path.write_bytes(b"WRONGMAG" + b"rest")
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+    def test_truncated_payload_raises(self, engine, tmp_path):
+        path = save_snapshot(engine, tmp_path / "e.snap")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+    def test_unsupported_version_raises(self, tmp_path):
+        path = tmp_path / "x.snap"
+        with open(path, "wb") as handle:
+            handle.write(SNAPSHOT_MAGIC)
+            pickle.dump({"version": 999}, handle)
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+    def test_atomic_save_leaves_no_tmp(self, engine, tmp_path):
+        save_snapshot(engine, tmp_path / "e.snap")
+        assert list(tmp_path.iterdir()) == [tmp_path / "e.snap"]
+
+    def test_overwrite_previous(self, engine, tmp_path):
+        path = save_snapshot(engine, tmp_path / "e.snap", last_lsn=1)
+        engine.insert("UC", "color", "blue", engine.horizon + 1)
+        save_snapshot(engine, path, last_lsn=2)
+        restored, meta = load_snapshot(path)
+        assert meta["last_lsn"] == 2
+        assert restored.query("SELECT ?o {UC color ?o ?t}").rows

@@ -1,0 +1,291 @@
+"""TemporalStore: durability, recovery, validation, concurrency.
+
+The centerpiece is the crash-recovery property test: a child process
+applies a deterministic update stream (checkpoint in the middle), is
+SIGKILLed without any shutdown, and the recovered store must answer a
+query suite identically to an uncrashed in-process run of the same stream.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.model import TemporalGraph, date_to_chronon
+from repro.mvbt.tree import DuplicateKeyError, TimeOrderError
+from repro.service import StoreError, TemporalStore, read_records
+from repro.service.wal import WAL_MAGIC
+
+D = date_to_chronon
+
+QUERIES = [
+    "SELECT ?o ?t {UC president ?o ?t}",
+    "SELECT ?s ?o {?s president ?o ?t}",
+    "SELECT ?p ?o {UC ?p ?o ?t . FILTER(YEAR(?t) = 2015)}",
+    "SELECT ?o {UC budget ?o ?t}",
+    "SELECT ?s {?s member Senate ?t}",
+]
+
+
+def fixture_graph():
+    g = TemporalGraph()
+    g.add("UC", "president", "Mark_Yudof", D("06/16/2008"), D("09/30/2013"))
+    g.add("UC", "president", "Janet_Napolitano", D("09/30/2013"))
+    g.add("UC", "budget", "22.7", D("01/30/2013"), D("01/30/2015"))
+    g.add("UC", "budget", "25.46", D("01/30/2015"))
+    g.add("UM", "president", "Mary_Sue_Coleman", D("08/01/2002"),
+          D("07/01/2014"))
+    g.add("UM", "president", "Mark_Schlissel", D("07/01/2014"))
+    return g
+
+
+def update_stream(n):
+    """A deterministic stream of n valid updates past the fixture horizon."""
+    base = D("01/01/2016")
+    updates = []
+    for i in range(n):
+        t = base + 2 * i
+        if i % 3 == 2:
+            # Delete the member fact inserted two steps earlier.
+            updates.append(("delete", f"Person_{i - 2}", "member", "Senate",
+                            t))
+        else:
+            updates.append(("insert", f"Person_{i}", "member", "Senate", t))
+    return updates
+
+
+def apply_stream(store, updates):
+    for op, s, p, o, t in updates:
+        if op == "insert":
+            store.insert(s, p, o, t)
+        else:
+            store.delete(s, p, o, t)
+
+
+def result_fingerprint(store):
+    return [
+        sorted(
+            tuple(sorted((k, str(v)) for k, v in row.items()))
+            for row in store.query(q).rows
+        )
+        for q in QUERIES
+    ]
+
+
+def _crash_child(directory, n):
+    """Child-process body for the crash test (see TestCrashRecovery)."""
+    store = TemporalStore(directory, group_size=4)
+    store.load_dataset(fixture_graph())
+    updates = update_stream(n)
+    apply_stream(store, updates[: n // 2])
+    store.checkpoint()
+    apply_stream(store, updates[n // 2 :])
+    store.sync()  # every acknowledged update is now on disk
+    print("READY", flush=True)
+    signal.pause()  # wait for the SIGKILL; no clean shutdown ever runs
+
+
+class TestDurability:
+    def test_updates_survive_reopen(self, tmp_path):
+        with TemporalStore(tmp_path) as store:
+            store.load_dataset(fixture_graph())
+            store.insert("UC", "chancellor", "Carol_Christ", D("07/01/2017"))
+            lsn = store.delete("UC", "president", "Janet_Napolitano",
+                               D("08/01/2020"))
+        with TemporalStore(tmp_path) as store:
+            assert store.revision == lsn
+            result = store.query("SELECT ?o {UC chancellor ?o ?t}")
+            assert result.column("o") == ["Carol_Christ"]
+            result = store.query(
+                "SELECT ?t {UC president Janet_Napolitano ?t}"
+            )
+            (row,) = result
+            (period,) = list(row["t"])
+            assert period.end == D("08/01/2020")
+
+    def test_checkpoint_truncates_wal(self, tmp_path):
+        with TemporalStore(tmp_path) as store:
+            store.load_dataset(fixture_graph())
+            store.insert("a", "b", "c", D("01/01/2016"))
+            assert len(read_records(store.wal_path)) == 1
+            store.checkpoint()
+            assert read_records(store.wal_path) == []
+            # LSNs keep counting after truncation.
+            assert store.insert("d", "e", "f", D("01/02/2016")) == 2
+
+    def test_auto_checkpoint(self, tmp_path):
+        with TemporalStore(tmp_path, checkpoint_every=3) as store:
+            store.load_dataset(fixture_graph())
+            for i in range(7):
+                store.insert(f"s{i}", "p", "o", D("01/01/2016") + i)
+            # 7 updates with checkpoint_every=3: checkpoints after 3 and 6,
+            # one record left in the log.
+            assert len(read_records(store.wal_path)) == 1
+
+    def test_load_dataset_requires_empty(self, tmp_path):
+        with TemporalStore(tmp_path) as store:
+            store.load_dataset(fixture_graph())
+            with pytest.raises(StoreError):
+                store.load_dataset(fixture_graph())
+        with TemporalStore(tmp_path) as store:  # recovered, still non-empty
+            with pytest.raises(StoreError):
+                store.load_dataset(fixture_graph())
+
+    def test_closed_store_rejects_updates(self, tmp_path):
+        store = TemporalStore(tmp_path)
+        store.close()
+        with pytest.raises(StoreError):
+            store.insert("a", "b", "c", D("01/01/2016"))
+        with pytest.raises(StoreError):
+            store.checkpoint()
+        store.close()  # idempotent
+
+    def test_fresh_store_is_queryable(self, tmp_path):
+        with TemporalStore(tmp_path) as store:
+            assert store.revision == 0
+            assert store.query("SELECT ?s {?s p ?o ?t}").rows == []
+
+
+class TestValidation:
+    def test_duplicate_insert_rejected_and_not_logged(self, tmp_path):
+        with TemporalStore(tmp_path) as store:
+            store.insert("a", "b", "c", D("01/01/2016"))
+            with pytest.raises(DuplicateKeyError):
+                store.insert("a", "b", "c", D("01/02/2016"))
+            assert len(read_records(store.wal_path)) == 1
+
+    def test_delete_of_dead_fact_rejected(self, tmp_path):
+        with TemporalStore(tmp_path) as store:
+            with pytest.raises(KeyError):
+                store.delete("ghost", "b", "c", D("01/01/2016"))
+
+    def test_delete_not_after_start_rejected(self, tmp_path):
+        with TemporalStore(tmp_path) as store:
+            t = D("01/01/2016")
+            store.insert("a", "b", "c", t)
+            with pytest.raises(TimeOrderError):
+                store.delete("a", "b", "c", t)
+
+    def test_update_before_watermark_rejected(self, tmp_path):
+        with TemporalStore(tmp_path) as store:
+            store.insert("a", "b", "c", D("01/01/2016"))
+            with pytest.raises(TimeOrderError):
+                store.insert("x", "y", "z", D("01/01/2015"))
+
+    def test_update_time_out_of_range(self, tmp_path):
+        with TemporalStore(tmp_path) as store:
+            with pytest.raises(ValueError):
+                store.insert("a", "b", "c", -5)
+            with pytest.raises(ValueError):
+                store.insert("a", "b", "c", 2**31 - 1)  # NOW is reserved
+
+
+class TestCrashRecovery:
+    def test_sigkill_then_recover_matches_uncrashed_run(self, tmp_path):
+        n = 24
+        crash_dir = tmp_path / "crashed"
+        child = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                "from test_service_store import _crash_child; "
+                f"_crash_child({str(crash_dir)!r}, {n})",
+            ],
+            cwd=str(Path(__file__).parent),
+            env={
+                **os.environ,
+                "PYTHONPATH": str(Path(__file__).parents[1] / "src"),
+            },
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            line = child.stdout.readline()
+            assert line.strip() == "READY", f"child failed: {line!r}"
+            os.kill(child.pid, signal.SIGKILL)
+        finally:
+            child.wait(timeout=30)
+
+        # The uncrashed reference run, same deterministic stream.
+        with TemporalStore(tmp_path / "reference") as reference:
+            reference.load_dataset(fixture_graph())
+            apply_stream(reference, update_stream(n))
+            expected = result_fingerprint(reference)
+            expected_revision = reference.revision
+
+        with TemporalStore(crash_dir) as recovered:
+            assert recovered.revision == expected_revision
+            assert result_fingerprint(recovered) == expected
+            # The recovered store accepts further updates.
+            recovered.insert("after", "the", "crash", D("01/01/2020"))
+
+    def test_recovery_skips_records_already_in_snapshot(self, tmp_path):
+        # Simulate a crash *between* snapshot rename and WAL truncation:
+        # the WAL still holds records the snapshot already contains.
+        with TemporalStore(tmp_path, group_size=1) as store:
+            store.load_dataset(fixture_graph())
+            store.insert("a", "b", "c", D("01/01/2016"))
+            store.insert("d", "e", "f", D("01/02/2016"))
+            wal_with_records = store.wal_path.read_bytes()
+            store.checkpoint()  # snapshot now includes both records
+            store.wal_path.write_bytes(wal_with_records)  # un-truncate
+        with TemporalStore(tmp_path) as store:
+            assert store.revision == 2
+            # No double-apply: each fact matched exactly once.
+            assert len(store.query("SELECT ?o {a b ?o ?t}").rows) == 1
+            assert store.live_facts == 5  # 3 fixture live + 2 inserted
+
+
+class TestConcurrency:
+    def test_concurrent_readers_during_write_burst(self, tmp_path):
+        with TemporalStore(tmp_path, group_size=8) as store:
+            store.load_dataset(fixture_graph())
+            stop = threading.Event()
+            errors = []
+            revisions = []
+
+            def reader():
+                while not stop.is_set():
+                    try:
+                        result = store.query(
+                            "SELECT ?s {?s member Senate ?t}"
+                        )
+                        revisions.append(result.revision)
+                    except Exception as error:  # noqa: BLE001
+                        errors.append(error)
+                        return
+
+            threads = [threading.Thread(target=reader) for _ in range(4)]
+            for t in threads:
+                t.start()
+            try:
+                apply_stream(store, update_stream(60))
+            finally:
+                stop.set()
+                for t in threads:
+                    t.join(timeout=30)
+            assert errors == []
+            # Readers observed monotonically growing revisions overall.
+            assert revisions
+            assert max(revisions) <= store.revision
+
+    def test_revision_pins_to_read_epoch(self, tmp_path):
+        with TemporalStore(tmp_path) as store:
+            store.load_dataset(fixture_graph())
+            r1 = store.query(QUERIES[0]).revision
+            store.insert("x", "y", "z", D("01/01/2016"))
+            r2 = store.query(QUERIES[0]).revision
+            assert (r1, r2) == (0, 1)
+
+
+class TestFiles:
+    def test_store_directory_layout(self, tmp_path):
+        with TemporalStore(tmp_path) as store:
+            store.load_dataset(fixture_graph())
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["store.snap", "store.wal"]
+        assert (tmp_path / "store.wal").read_bytes() == WAL_MAGIC
