@@ -9,6 +9,7 @@ Subcommands::
     repro-tx generate KIND N OUT.tnq       write a synthetic dataset
     repro-tx snapshot DATASET.tnq OUT      compile a dataset to a snapshot
     repro-tx serve DIR                     durable HTTP SPARQLT endpoint
+    repro-tx lint [PATHS…]                 project-specific static analysis
 
 ``query --analyze`` prints an EXPLAIN ANALYZE-style operator tree with
 estimated vs. actual rows and per-operator timings; ``stats`` renders the
@@ -115,6 +116,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="never fsync the WAL (faster; loses machine-"
                             "crash durability, keeps process-kill safety)")
     serve.add_argument("--no-optimizer", action="store_true")
+
+    from .lint import checker as _lint_checker
+
+    lint = sub.add_parser(
+        "lint",
+        help="project-specific static analysis (lock discipline, MVBT "
+             "invariants, metrics hygiene)",
+    )
+    _lint_checker.build_parser(lint)
 
     return parser
 
@@ -341,6 +351,12 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from .lint import checker as _lint_checker
+
+    return _lint_checker.run_cli(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -351,6 +367,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": cmd_generate,
         "snapshot": cmd_snapshot,
         "serve": cmd_serve,
+        "lint": cmd_lint,
     }[args.command]
     try:
         return handler(args)

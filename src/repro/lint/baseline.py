@@ -1,0 +1,82 @@
+"""Baseline suppression for ``repro.lint``.
+
+A baseline lets a new rule land with pre-existing debt recorded instead
+of fixed-or-pragma'd in the same change: ``repro-tx lint
+--update-baseline`` writes the current findings' fingerprints, and
+subsequent runs report only findings *not* in the file.
+
+Fingerprints are content-anchored, not line-anchored: a finding is
+identified by (rule, path, stripped source line, occurrence index), so
+unrelated edits above a baselined finding don't resurrect it, while
+editing the offending line itself does — which is exactly when you want
+the linter to look again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from .rules.base import Finding
+
+#: Bumped if the fingerprint recipe changes, so stale files are ignored
+#: loudly rather than silently suppressing the wrong findings.
+FORMAT_VERSION = 1
+
+
+def _fingerprint(finding: Finding, occurrence: int) -> str:
+    material = "|".join(
+        (finding.rule, finding.path, finding.snippet, str(occurrence))
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+
+def fingerprints(findings: Iterable[Finding]) -> list[str]:
+    """Stable fingerprints, disambiguating identical lines by occurrence."""
+    seen: Counter[tuple[str, str, str]] = Counter()
+    result = []
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.snippet)
+        result.append(_fingerprint(finding, seen[key]))
+        seen[key] += 1
+    return result
+
+
+class Baseline:
+    """The set of fingerprints accepted as pre-existing debt."""
+
+    def __init__(self, accepted: set[str] | None = None) -> None:
+        self.accepted = accepted or set()
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != FORMAT_VERSION:
+            return cls()
+        return cls(set(data.get("fingerprints", [])))
+
+    def save(self, path: Path, findings: Iterable[Finding]) -> int:
+        prints = sorted(set(fingerprints(findings)))
+        path.write_text(
+            json.dumps(
+                {"version": FORMAT_VERSION, "fingerprints": prints},
+                indent=2,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        return len(prints)
+
+    def filter(self, findings: list[Finding]) -> list[Finding]:
+        """Findings not covered by the baseline, original order kept."""
+        prints = fingerprints(findings)
+        return [
+            finding
+            for finding, print_ in zip(findings, prints)
+            if print_ not in self.accepted
+        ]

@@ -1,0 +1,77 @@
+"""Determinism rule (RL006).
+
+Snapshot, WAL, and dictionary-encoding bytes must be a pure function of
+the update sequence: two replicas replaying the same WAL must produce
+byte-identical snapshots, and recovery must reconstruct the exact
+pre-crash dictionary.  Wall-clock reads and randomness in those paths
+break replay equality in ways no unit test reliably catches.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from .base import Finding, ImportMap, Rule, path_matches
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..checker import ModuleInfo
+
+#: Files whose byte output must be replay-deterministic.
+DURABLE_PATHS = (
+    "service/wal.py",
+    "service/snapshot.py",
+    "model/dictionary.py",
+    "mvbt/compression.py",
+)
+
+#: Fully qualified calls that read the clock or entropy.
+BANNED_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",  # monotonic is per-process: differs across replicas
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+})
+
+#: Any call under these module prefixes is nondeterministic.
+BANNED_PREFIXES = ("random.", "secrets.")
+
+#: Explicitly fine: profiling timers never reach the byte stream.
+ALLOWED = frozenset({"time.perf_counter", "time.perf_counter_ns"})
+
+
+class NondeterministicDurablePath(Rule):
+    """RL006: no wall-clock or randomness in snapshot/WAL/dictionary code."""
+
+    id = "RL006"
+    title = "wall-clock/randomness in a replay-deterministic path"
+    rationale = (
+        "Recovery correctness is checked by comparing replayed state to "
+        "the pre-crash state; a time.time() or random draw in the WAL, "
+        "snapshot, or dictionary encoder makes two replays of the same "
+        "log diverge byte-for-byte."
+    )
+
+    def check(self, module: "ModuleInfo") -> Iterator[Finding]:
+        if not path_matches(module.logical_path, DURABLE_PATHS):
+            return
+        imports = ImportMap.of(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = imports.resolve_call(node)
+            if qualified is None or qualified in ALLOWED:
+                continue
+            if qualified in BANNED_CALLS or qualified.startswith(
+                BANNED_PREFIXES
+            ):
+                yield self.finding(
+                    module, node,
+                    f"`{qualified}` is nondeterministic in a durable path — "
+                    f"replaying the same WAL would produce different bytes",
+                )

@@ -1,0 +1,160 @@
+"""General hygiene rules (RL007, RL008, RL010).
+
+These are the generic-looking rules tuned to this codebase: exception
+handling in the serving/engine layers must never silently eat an error,
+default arguments must not alias mutable state across calls, and
+``assert`` is reserved for the invariant-checking harnesses (it vanishes
+under ``python -O``, so production guards must ``raise``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from .base import Finding, Rule, dotted_name, enclosing_function_names, \
+    has_path_segment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..checker import ModuleInfo
+
+#: Exception names considered "broad" when caught in service/engine code.
+BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+#: Call-name fragments that count as surfacing the error.
+LOGGING_FRAGMENTS = ("log", "exception", "warn", "print_exc")
+
+#: Function-name prefixes whose asserts are sanctioned (invariant harnesses).
+CHECKER_PREFIXES = ("check_", "_check")
+
+#: File-name prefixes of pytest modules, where assert IS the idiom.
+TEST_FILE_PREFIXES = ("test_", "bench_", "conftest")
+
+
+def _handler_surfaces_error(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler re-raises or visibly reports the exception."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = dotted_name(node.func)
+            if dotted is not None:
+                tail = dotted.rsplit(".", 1)[-1].lower()
+                if any(frag in tail for frag in LOGGING_FRAGMENTS):
+                    return True
+    return False
+
+
+def _caught_names(handler: ast.ExceptHandler) -> Iterator[str]:
+    """Exception class names this handler catches."""
+    node = handler.type
+    if node is None:
+        return
+    types = node.elts if isinstance(node, ast.Tuple) else [node]
+    for item in types:
+        dotted = dotted_name(item)
+        if dotted is not None:
+            yield dotted.rsplit(".", 1)[-1]
+
+
+class SwallowedException(Rule):
+    """RL007: no silent broad excepts in service/engine code."""
+
+    id = "RL007"
+    title = "broad except swallows the error"
+    rationale = (
+        "A swallowed exception in the request handler or the engine turns "
+        "a data-corrupting bug into a quiet 200/empty result; catch-alls "
+        "there must re-raise or log with enough identity to debug."
+    )
+
+    def check(self, module: "ModuleInfo") -> Iterator[Finding]:
+        in_scope = has_path_segment(
+            module.logical_path, "service"
+        ) or has_path_segment(module.logical_path, "engine")
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                # A bare ``except:`` also traps KeyboardInterrupt/SystemExit;
+                # that is wrong everywhere, not just in the hot layers.
+                yield self.finding(
+                    module, node,
+                    "bare `except:` catches SystemExit/KeyboardInterrupt — "
+                    "name the exception",
+                )
+                continue
+            if not in_scope:
+                continue
+            broad = [n for n in _caught_names(node) if n in BROAD_EXCEPTIONS]
+            if broad and not _handler_surfaces_error(node):
+                yield self.finding(
+                    module, node,
+                    f"`except {broad[0]}` in a service/engine path neither "
+                    f"re-raises nor logs — the failure disappears",
+                )
+
+
+class MutableDefaultArgument(Rule):
+    """RL008: no mutable default arguments."""
+
+    id = "RL008"
+    title = "mutable default argument"
+    rationale = (
+        "A list/dict/set default is created once at def time and shared "
+        "by every call — in a long-lived server that is cross-request "
+        "state leakage."
+    )
+
+    MUTABLE = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+               ast.SetComp)
+
+    def check(self, module: "ModuleInfo") -> Iterator[Finding]:
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(fn.args.defaults) + [
+                d for d in fn.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if isinstance(default, self.MUTABLE) or (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in {"list", "dict", "set"}
+                ):
+                    yield self.finding(
+                        module, default,
+                        f"mutable default in `{fn.name}` is shared across "
+                        f"calls — default to None and create inside",
+                    )
+
+
+class ProductionAssert(Rule):
+    """RL010: ``assert`` only inside the invariant-check harnesses."""
+
+    id = "RL010"
+    title = "assert outside an invariant-check harness"
+    rationale = (
+        "`python -O` strips asserts, so an assert guarding real control "
+        "flow (split boundaries, parse states) silently stops guarding; "
+        "only check_invariants-style debug harnesses may use them."
+    )
+
+    def check(self, module: "ModuleInfo") -> Iterator[Finding]:
+        basename = module.logical_path.replace("\\", "/").rsplit("/", 1)[-1]
+        if basename.startswith(TEST_FILE_PREFIXES) or has_path_segment(
+            module.logical_path, "tests"
+        ):
+            return  # pytest rewrites asserts; they never run under -O
+        owners = enclosing_function_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assert):
+                continue
+            owner = owners.get(id(node), "<module>")
+            if owner.startswith(CHECKER_PREFIXES):
+                continue
+            yield self.finding(
+                module, node,
+                f"assert in `{owner}` vanishes under -O — raise a real "
+                f"exception (asserts are reserved for check_* harnesses)",
+            )

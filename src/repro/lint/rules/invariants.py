@@ -1,0 +1,124 @@
+"""MVBT/CMVSBT structural-invariant rules (RL004, RL005).
+
+The multiversion trees only stay queryable at historical revisions
+because dead entries are immutable: an entry's ``end`` (the paper's
+``te``) is written exactly once, by the logical-delete helpers, and a
+node's ``death`` exactly once, by the version-split machinery.  Likewise
+the delta-compression byte format has one encoder — ad-hoc header
+construction elsewhere would silently desynchronize encode and decode.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from .base import (
+    Finding,
+    Rule,
+    dotted_name,
+    enclosing_function_names,
+    path_matches,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..checker import ModuleInfo
+
+#: Functions allowed to end an entry's lifetime (set ``.end``).
+END_SETTERS = frozenset({"end_live", "end_child", "__init__", "copy"})
+
+#: Functions allowed to kill a node (set ``.death``).
+DEATH_SETTERS = frozenset({
+    "_restructure", "_check_parent", "shell_from_state", "__init__",
+})
+
+#: Files allowed to name the compressed-leaf store directly: the codec,
+#: its sole consumer, and the package __init__ that re-exports the API.
+COMPRESSION_FILES = ("mvbt/compression.py", "mvbt/node.py",
+                     "mvbt/__init__.py")
+
+
+class EntryLifetimeMutation(Rule):
+    """RL004: ``.end`` / ``.death`` writes only inside the sanctioned
+    dead/split helpers."""
+
+    id = "RL004"
+    title = "entry/node lifetime mutated outside the dead/split helpers"
+    rationale = (
+        "A reader pinned at revision r reconstructs state r from entry "
+        "lifetimes; mutating te on an arbitrary code path rewrites "
+        "history for every concurrent and future historical query."
+    )
+
+    def check(self, module: "ModuleInfo") -> Iterator[Finding]:
+        owners = enclosing_function_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Assign, ast.AugAssign)):
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if not isinstance(target, ast.Attribute):
+                    continue
+                owner = owners.get(id(node), "<module>")
+                if target.attr == "end" and owner not in END_SETTERS:
+                    yield self.finding(
+                        module, node,
+                        f"`.end` (te) assigned in `{owner}` — only the "
+                        f"logical-delete helpers "
+                        f"({', '.join(sorted(END_SETTERS))}) may end an "
+                        f"entry's lifetime",
+                    )
+                elif target.attr == "death" and owner not in DEATH_SETTERS:
+                    yield self.finding(
+                        module, node,
+                        f"`.death` assigned in `{owner}` — only the "
+                        f"version-split machinery may kill a node",
+                    )
+
+
+class CompressionEncapsulation(Rule):
+    """RL005: compressed-leaf headers/buffers only through compression.py."""
+
+    id = "RL005"
+    title = "compressed-leaf store accessed outside its owners"
+    rationale = (
+        "The delta format (Section 4.2 headers) has exactly one encoder "
+        "and one decoder; constructing stores or poking `._buf` anywhere "
+        "else lets the byte layout drift between writer and reader."
+    )
+
+    def check(self, module: "ModuleInfo") -> Iterator[Finding]:
+        if path_matches(module.logical_path, COMPRESSION_FILES):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if any(
+                    alias.name == "CompressedLeafStore"
+                    for alias in node.names
+                ):
+                    yield self.finding(
+                        module, node,
+                        "`CompressedLeafStore` imported outside "
+                        "mvbt/compression.py + mvbt/node.py — go through "
+                        "LeafNode.compress()/decompress()",
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted is not None and (
+                    dotted == "CompressedLeafStore"
+                    or dotted.endswith(".CompressedLeafStore")
+                    or dotted.endswith("CompressedLeafStore.from_state")
+                ):
+                    yield self.finding(
+                        module, node,
+                        f"`{dotted}` constructs a compressed leaf store "
+                        f"outside its owning modules",
+                    )
+            elif isinstance(node, ast.Attribute) and node.attr == "_buf":
+                yield self.finding(
+                    module, node,
+                    "direct `._buf` access outside mvbt/compression.py — "
+                    "the buffer layout is private to the codec",
+                )

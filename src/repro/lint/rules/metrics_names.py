@@ -1,0 +1,86 @@
+"""Metrics-hygiene rule (RL009).
+
+Every counter/gauge/timer name used at an instrumentation site must be a
+literal, well-formed, and declared in ``repro.obs.catalog`` — dashboards
+and the obs-overhead CI job key off the catalog, so an unregistered name
+is a metric nobody can find and nobody budgets for.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from ...obs import catalog
+from .base import Finding, Rule, dotted_name, path_matches
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..checker import ModuleInfo
+
+#: Receiver names that denote the metrics registry.
+REGISTRY_NAMES = frozenset({"_metrics", "metrics", "REGISTRY"})
+
+#: registry method -> catalog set the name must belong to.
+KIND_SETS = {
+    "counter": "COUNTERS",
+    "gauge": "GAUGES",
+    "timer": "TIMERS",
+    "timer_stat": "TIMERS",
+}
+
+#: The registry implementation and the catalog itself are exempt.
+EXEMPT_PATHS = ("obs/metrics.py", "obs/catalog.py")
+
+
+class UnregisteredMetricName(Rule):
+    """RL009: metric names must be literal, well-formed, and cataloged."""
+
+    id = "RL009"
+    title = "metric name missing from the obs catalog"
+    rationale = (
+        "The overhead budget test and any dashboard enumerate metrics "
+        "from repro.obs.catalog; an instrumentation site using an "
+        "uncataloged or dynamically built name produces a series that "
+        "monitoring never sees."
+    )
+
+    def check(self, module: "ModuleInfo") -> Iterator[Finding]:
+        if path_matches(module.logical_path, EXEMPT_PATHS):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None or "." not in dotted:
+                continue
+            receiver, method = dotted.rsplit(".", 1)
+            if method not in KIND_SETS:
+                continue
+            if receiver.rsplit(".", 1)[-1] not in REGISTRY_NAMES:
+                continue
+            if not node.args:
+                continue
+            name_arg = node.args[0]
+            if not isinstance(name_arg, ast.Constant) or not isinstance(
+                name_arg.value, str
+            ):
+                yield self.finding(
+                    module, node,
+                    f"`{dotted}` called with a non-literal metric name — "
+                    f"names must be static so the catalog can list them",
+                )
+                continue
+            name = name_arg.value
+            if not catalog.is_well_formed(name):
+                yield self.finding(
+                    module, node,
+                    f"metric name {name!r} is malformed (want "
+                    f"dotted lower_snake segments, e.g. `engine.updates`)",
+                )
+            elif name not in getattr(catalog, KIND_SETS[method]):
+                yield self.finding(
+                    module, node,
+                    f"metric name {name!r} is not declared in "
+                    f"repro.obs.catalog.{KIND_SETS[method]} — register it "
+                    f"there or fix the typo",
+                )

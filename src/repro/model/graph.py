@@ -9,7 +9,7 @@ baseline, so all systems index exactly the same data.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from .dictionary import Dictionary
 from .time import NOW, Period, PeriodSet, TimeError
@@ -77,12 +77,12 @@ class TemporalGraph:
         """
         if end >= NOW:
             raise TimeError("cannot end a fact at NOW")
-        ids = tuple(
-            self.dictionary.lookup(t) for t in (subject, predicate, object)
-        )
-        if any(i is None for i in ids):
+        sid = self.dictionary.lookup(subject)
+        pid = self.dictionary.lookup(predicate)
+        oid = self.dictionary.lookup(object)
+        if sid is None or pid is None or oid is None:
             raise KeyError(f"fact not live: ({subject}, {predicate}, {object})")
-        idx = self._live.pop(ids, None)
+        idx = self._live.pop((sid, pid, oid), None)
         if idx is None:
             raise KeyError(f"fact not live: ({subject}, {predicate}, {object})")
         old = self._triples[idx]
@@ -110,12 +110,12 @@ class TemporalGraph:
         self, subject: str, predicate: str, object: str
     ) -> int | None:
         """Start chronon of the fact's live interval, or ``None``."""
-        ids = tuple(
-            self.dictionary.lookup(t) for t in (subject, predicate, object)
-        )
-        if any(i is None for i in ids):
+        sid = self.dictionary.lookup(subject)
+        pid = self.dictionary.lookup(predicate)
+        oid = self.dictionary.lookup(object)
+        if sid is None or pid is None or oid is None:
             return None
-        idx = self._live.get(ids)
+        idx = self._live.get((sid, pid, oid))
         if idx is None:
             return None
         return self._triples[idx].period.start
@@ -191,12 +191,11 @@ class TemporalGraph:
         self, subject: str, predicate: str, object: str
     ) -> PeriodSet:
         """Coalesced validity of a fact (the "when" query of Example 1)."""
-        ids = tuple(
-            self.dictionary.lookup(term) for term in (subject, predicate, object)
-        )
-        if any(i is None for i in ids):
+        sid = self.dictionary.lookup(subject)
+        pid = self.dictionary.lookup(predicate)
+        oid = self.dictionary.lookup(object)
+        if sid is None or pid is None or oid is None:
             return PeriodSet()
-        sid, pid, oid = ids
         return PeriodSet(
             t.period
             for t in self._triples
@@ -213,9 +212,7 @@ class TemporalGraph:
         from several sources.  The MVBT requires disjoint intervals per
         key, so valid-time ingestion goes through this normalization.
         """
-        from collections import defaultdict
-
-        periods: dict[tuple, list[Period]] = defaultdict(list)
+        periods: dict[tuple[int, int, int], list[Period]] = defaultdict(list)
         for triple in self._triples:
             periods[(triple.subject, triple.predicate, triple.object)].append(
                 triple.period
@@ -245,8 +242,6 @@ class TemporalGraph:
         """Size of the raw data in bytes, counted as the flat N-Triples-like
         representation the paper compares index sizes against: the string
         terms plus two timestamps per fact."""
-        import sys
-
         decode = self.dictionary.decode
         size = 0
         for t in self._triples:
@@ -257,7 +252,7 @@ class TemporalGraph:
         return size
 
     def sorted_by(
-        self, key: Callable[[EncodedTriple], tuple]
+        self, key: Callable[[EncodedTriple], tuple[Any, ...]]
     ) -> list[EncodedTriple]:
         """Triples sorted by an arbitrary key (used by bulk loaders)."""
         return sorted(self._triples, key=key)

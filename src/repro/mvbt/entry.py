@@ -12,17 +12,18 @@ tuple of ints and serves as the lower extremum of the key space (the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, TypeAlias
 
 from ..model.time import NOW
 
+#: A key is any comparable tuple (3-tuples of dictionary ids in RDF-TX).
+Key: TypeAlias = tuple[Any, ...]
+
 #: Lower extremum of the key domain.
-MIN_KEY: tuple = ()
+MIN_KEY: Key = ()
 
 #: Upper bound usable as a key component (no dictionary id ever reaches it).
 MAX_KEY_COMPONENT: int = 2**62
-
-Key = tuple
 
 
 @dataclass

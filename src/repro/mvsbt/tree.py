@@ -185,7 +185,14 @@ class MVSBT:
             else:
                 # Cut a straddling leaf rectangle; both halves keep v, which
                 # preserves the containing-entry sum for every query point.
-                assert node.is_leaf, "index entries never straddle"
+                # Index entries are born at child-boundary keys, so one can
+                # never straddle — reaching this branch on an index node
+                # means the rectangle partition is already corrupt.
+                if not node.is_leaf:
+                    raise RuntimeError(
+                        f"index entry straddles split boundary {boundary}: "
+                        f"{entry}"
+                    )
                 tail = AggEntry(boundary, entry.ke, entry.ts, entry.te, entry.v)
                 entry.ke = boundary
                 left.entries.append(entry)

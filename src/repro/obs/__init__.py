@@ -5,6 +5,7 @@ paths (MVBT scans, joins, the optimizer's cardinality estimates).  The
 environment variable ``REPRO_OBS=0`` turns every probe into a no-op.
 """
 
+from .catalog import ALL_METRICS, is_registered, is_well_formed
 from .metrics import (
     ENABLED,
     REGISTRY,
@@ -22,6 +23,9 @@ from .metrics import (
 from .profile import ProfileNode, QueryProfile
 
 __all__ = [
+    "ALL_METRICS",
+    "is_registered",
+    "is_well_formed",
     "ENABLED",
     "REGISTRY",
     "Counter",

@@ -1,0 +1,84 @@
+"""The catalog of sanctioned metric names.
+
+Every counter / gauge / timer registered anywhere in the tree must be
+declared here first.  The point is hygiene at scale: the global registry
+(:mod:`repro.obs.metrics`) will happily mint a metric for any string, so a
+typo at one call site silently forks a counter ("service.store.querys")
+and dashboards read zeros forever.  ``repro-tx lint`` rule RL009
+cross-checks every registration call against this catalog, making the
+drift a review-time error instead.
+
+Keep the catalog sorted; the entry's comment is the one-line contract of
+what the metric counts.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Metric names must be lowercase dotted paths: ``subsystem.component.what``.
+NAME_PATTERN = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+#: Every counter name the tree is allowed to register.
+COUNTERS = frozenset({
+    "engine.filter_rows_in",          # rows entering a FILTER operator
+    "engine.filter_rows_out",         # rows surviving a FILTER operator
+    "engine.hash_join_rows",          # rows emitted by hash joins
+    "engine.hash_joins",              # hash-join operator executions
+    "engine.index_scan_rows",         # rows emitted by index scans
+    "engine.index_scans",             # index-scan operator executions
+    "engine.queries",                 # SPARQLT queries evaluated
+    "engine.sync_join_rows",          # rows emitted by synchronized joins
+    "engine.sync_joins",              # synchronized-join executions
+    "mvbt.compression.bytes_decoded",     # compressed bytes expanded
+    "mvbt.compression.entries_decoded",   # entries expanded from buffers
+    "mvbt.compression.leaves_decoded",    # leaf-buffer cache misses
+    "mvbt.scan.entries_examined",     # entries touched by scans
+    "mvbt.scan.entries_emitted",      # entries passing scan predicates
+    "mvbt.scan.entries_pruned",       # entries skipped by pruning
+    "mvbt.scan.leaves_visited",       # leaf nodes visited by scans
+    "mvbt.scan.scans",                # range-interval scans started
+    "mvbt.tree.deletes",              # logical deletes applied
+    "mvbt.tree.inserts",              # inserts applied
+    "mvbt.tree.key_splits",           # key splits performed
+    "mvbt.tree.merges",               # merges performed
+    "mvbt.tree.version_splits",       # version splits performed
+    "service.server.errors",          # unexpected 500s (see error_id log)
+    "service.server.rejected",        # admissions rejected with 503
+    "service.server.requests",        # HTTP requests received
+    "service.server.timeouts",        # requests past deadline (504)
+    "service.snapshot.loads",         # snapshots loaded
+    "service.snapshot.saves",         # snapshots written
+    "service.store.checkpoints",      # checkpoints completed
+    "service.store.queries",          # store queries served
+    "service.store.replay_skipped",   # WAL records skipped during recovery
+    "service.store.replayed_records", # WAL records re-applied on recovery
+    "service.store.updates",          # durable updates applied
+    "service.wal.appends",            # WAL records appended
+    "service.wal.syncs",              # WAL fsync group commits
+    "service.wal.torn_tails",         # torn WAL tails repaired on open
+})
+
+#: Every gauge name the tree is allowed to register.
+GAUGES = frozenset()
+
+#: Every timer-stat name the tree is allowed to register.
+TIMERS = frozenset({
+    "engine.query",            # end-to-end SPARQLT evaluation
+    "service.server.request",  # HTTP request wall time
+    "service.snapshot.load",   # snapshot load wall time
+    "service.snapshot.save",   # snapshot save wall time
+})
+
+#: Union of all sanctioned names, any kind.
+ALL_METRICS = COUNTERS | GAUGES | TIMERS
+
+
+def is_registered(name: str) -> bool:
+    """Whether ``name`` is a sanctioned metric of any kind."""
+    return name in ALL_METRICS
+
+
+def is_well_formed(name: str) -> bool:
+    """Whether ``name`` matches the dotted lowercase naming convention."""
+    return NAME_PATTERN.match(name) is not None

@@ -8,6 +8,7 @@ single-writer/multi-reader store with revision-pinned reads
 admission control (:mod:`~repro.service.server`).
 """
 
+from .locks import ReadWriteLock, requires_writer_lock
 from .snapshot import (
     SNAPSHOT_MAGIC,
     SnapshotError,
@@ -16,10 +17,11 @@ from .snapshot import (
     save_snapshot,
 )
 from .server import TemporalService, serve
-from .store import ReadWriteLock, StoreError, TemporalStore
+from .store import StoreError, TemporalStore
 from .wal import WAL_MAGIC, WalError, WalRecord, WriteAheadLog, read_records
 
 __all__ = [
+    "requires_writer_lock",
     "SNAPSHOT_MAGIC",
     "SnapshotError",
     "is_snapshot",

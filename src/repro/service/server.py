@@ -25,7 +25,10 @@ marks a still-live period (the paper's *NOW*).
 from __future__ import annotations
 
 import contextlib
+import itertools
 import json
+import logging
+import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -41,7 +44,14 @@ from .store import StoreError, TemporalStore
 _REQUESTS = _metrics.counter("service.server.requests")
 _REJECTED = _metrics.counter("service.server.rejected")
 _TIMEOUTS = _metrics.counter("service.server.timeouts")
+_ERRORS = _metrics.counter("service.server.errors")
 _REQUEST_TIMER = _metrics.REGISTRY.timer_stat("service.server.request")
+
+_LOG = logging.getLogger("repro.service.server")
+
+#: Per-process sequence feeding unexpected-failure error ids, so a client
+#: 500 can be matched to the logged traceback.
+_ERROR_SEQ = itertools.count(1)
 
 #: Largest accepted request body (64 MiB) — guards the u32 length read.
 _MAX_BODY = 64 * 1024 * 1024
@@ -223,8 +233,18 @@ class _Handler(BaseHTTPRequestHandler):
         except (DuplicateKeyError, TimeOrderError, KeyError,
                 StoreError) as error:
             self._send_error(409, str(error))
-        except Exception as error:  # pragma: no cover - defensive boundary
-            self._send_error(500, f"internal error: {error}")
+        except Exception:
+            # Defensive boundary: never kill the connection thread, but
+            # never swallow the traceback either — log it under an error
+            # id the client can quote back.
+            error_id = f"{os.getpid():x}-{next(_ERROR_SEQ):06x}"
+            _LOG.exception("request %s failed (error id %s)", path, error_id)
+            if _metrics.ENABLED:
+                _ERRORS.inc()
+            self._send_json(500, {
+                "error": "internal error; see server log",
+                "error_id": error_id,
+            })
         finally:
             if _metrics.ENABLED:
                 _REQUEST_TIMER.observe(_time.perf_counter() - started)

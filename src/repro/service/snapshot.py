@@ -62,7 +62,9 @@ def serialize_engine(engine: RDFTX, *, last_lsn: int = 0) -> dict:
     cfg = engine.config
     payload: dict = {
         "version": SNAPSHOT_VERSION,
-        "created_at": _time.time(),
+        # Provenance metadata only — never read back into engine state, so
+        # the wall-clock read cannot make two restores diverge.
+        "created_at": _time.time(),  # repro-lint: disable=RL006
         "last_lsn": last_lsn,
         "config": (cfg.block_capacity, cfg.weak_min, cfg.epsilon),
         "dictionary": [dictionary.decode(i)

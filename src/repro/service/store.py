@@ -23,7 +23,6 @@ immutable while the writer mutex is held, which is all serialization needs.
 
 from __future__ import annotations
 
-import contextlib
 import threading
 from pathlib import Path
 
@@ -32,8 +31,11 @@ from ..model.graph import TemporalGraph
 from ..model.time import MIN_TIME, NOW
 from ..mvbt.tree import DuplicateKeyError, MVBTConfig, TimeOrderError
 from ..obs import metrics as _metrics
+from .locks import ReadWriteLock, requires_writer_lock
 from .snapshot import load_snapshot, save_snapshot
 from .wal import WriteAheadLog
+
+__all__ = ["ReadWriteLock", "StoreError", "TemporalStore"]
 
 _UPDATES = _metrics.counter("service.store.updates")
 _QUERIES = _metrics.counter("service.store.queries")
@@ -44,65 +46,6 @@ _REPLAY_SKIPPED = _metrics.counter("service.store.replay_skipped")
 
 class StoreError(Exception):
     """Misuse of the store (e.g. loading a dataset into a non-empty one)."""
-
-
-class ReadWriteLock:
-    """A readers-writer lock with writer preference.
-
-    Many readers may hold the lock at once; a writer waits for them to
-    drain and then holds it exclusively.  Arriving readers queue behind a
-    waiting writer so a steady query stream cannot starve updates (the
-    serving layer's writes are short: four tree inserts).
-    """
-
-    def __init__(self) -> None:
-        self._cond = threading.Condition()
-        self._readers = 0
-        self._writer_active = False
-        self._writers_waiting = 0
-
-    def acquire_read(self) -> None:
-        with self._cond:
-            while self._writer_active or self._writers_waiting:
-                self._cond.wait()
-            self._readers += 1
-
-    def release_read(self) -> None:
-        with self._cond:
-            self._readers -= 1
-            if self._readers == 0:
-                self._cond.notify_all()
-
-    def acquire_write(self) -> None:
-        with self._cond:
-            self._writers_waiting += 1
-            try:
-                while self._writer_active or self._readers:
-                    self._cond.wait()
-            finally:
-                self._writers_waiting -= 1
-            self._writer_active = True
-
-    def release_write(self) -> None:
-        with self._cond:
-            self._writer_active = False
-            self._cond.notify_all()
-
-    @contextlib.contextmanager
-    def read_locked(self):
-        self.acquire_read()
-        try:
-            yield
-        finally:
-            self.release_read()
-
-    @contextlib.contextmanager
-    def write_locked(self):
-        self.acquire_write()
-        try:
-            yield
-        finally:
-            self.release_write()
 
 
 class TemporalStore:
@@ -171,8 +114,12 @@ class TemporalStore:
 
     # ------------------------------------------------------------- recovery
 
+    @requires_writer_lock
     def _replay(self, snapshot_lsn: int) -> None:
         """Re-apply WAL records newer than the snapshot.
+
+        Runs from ``__init__`` only, before the store is shared with any
+        other thread — the constructor *is* the writer.
 
         Records at or below ``snapshot_lsn`` are already inside the
         snapshot (a crash between snapshot rename and WAL truncation
@@ -280,6 +227,7 @@ class TemporalStore:
         else:
             raise ValueError(f"unknown operation: {op!r}")
 
+    @requires_writer_lock
     def _apply(self, op: str, subject: str, predicate: str, object: str,
                time: int) -> None:
         if op == "insert":

@@ -115,7 +115,8 @@ def _restriction_windows(
         return None
     if isinstance(left, Var):
         return _chronon_windows(op, int(right.value))
-    assert isinstance(left, FuncCall)
+    if not isinstance(left, FuncCall):
+        return None  # Not a restrictable side; fall back to row filtering.
     value = int(right.value)
     if left.name == "YEAR":
         return _year_windows(op, value)

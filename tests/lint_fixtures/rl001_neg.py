@@ -1,0 +1,13 @@
+"""Negative RL001: blocking work outside the lock, pure work inside."""
+import os
+
+
+class Store:
+    def checkpoint(self):
+        os.fsync(self.fd)  # fine: lock not held
+        with self._rw.write_locked():
+            self.revision += 1
+
+    def drain(self):
+        with self._writer:  # plain mutex, not the RW lock
+            os.fsync(self.fd)

@@ -1,0 +1,13 @@
+"""Positive RL001: blocking calls while the RW lock is held."""
+import os
+import time
+
+
+class Store:
+    def checkpoint(self):
+        with self._rw.write_locked():
+            os.fsync(self.fd)  # blocks every queued reader
+
+    def poll(self):
+        with self._rw.read_locked():
+            time.sleep(0.05)

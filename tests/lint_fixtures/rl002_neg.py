@@ -1,0 +1,26 @@
+"""Negative RL002: mutations under write_locked() or explicitly marked."""
+from repro.service.locks import requires_writer_lock
+
+
+class Store:
+    def __init__(self, path):
+        self._rw = make_lock()
+        self.engine = None  # the constructor owns the un-shared object
+
+    def swap(self, engine):
+        with self._rw.write_locked():
+            self.engine = engine
+
+    def update(self, record):
+        with self._rw.write_locked():
+            if record:
+                self.engine.insert(record)
+            self._revision += 1
+
+    @requires_writer_lock
+    def _apply(self, record):
+        self.engine.insert(record)  # every caller holds the lock
+
+    def query(self, text):
+        with self._rw.read_locked():
+            return self.engine.run(text)  # run() is not a mutator

@@ -1,0 +1,14 @@
+"""Positive RL002: store state mutated without the write lock."""
+
+
+class Store:
+    def __init__(self, path):
+        self._rw = make_lock()
+        self.engine = None
+
+    def swap(self, engine):
+        self.engine = engine  # reader-visible mutation, no lock
+
+    def apply(self, record):
+        self.engine.insert(record)  # mutating call, no lock
+        self._revision += 1

@@ -1,0 +1,18 @@
+"""Negative RL003: log-before-apply, or explicitly-marked replay helpers."""
+from repro.service.locks import requires_writer_lock
+
+
+class Store:
+    def __init__(self, path):
+        self._wal = open_wal(path)
+
+    def update(self, record):
+        self._wal.append(record)
+        self._apply(record)
+
+    @requires_writer_lock
+    def _replay(self, record):
+        self.engine.insert(record)  # record already in the WAL
+
+    def stats(self):
+        return self._wal.size()  # no apply at all

@@ -1,0 +1,13 @@
+"""Positive RL003: in-memory apply not dominated by the WAL append."""
+
+
+class Store:
+    def __init__(self, path):
+        self._wal = open_wal(path)
+
+    def update_wrong_order(self, record):
+        self._apply(record)  # applied before it is durable
+        self._wal.append(record)
+
+    def update_unlogged(self, record):
+        self.engine.insert(record)  # no append anywhere

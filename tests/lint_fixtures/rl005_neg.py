@@ -1,0 +1,7 @@
+# repro-lint: scope=src/repro/mvbt/node.py
+"""Negative RL005: the codec's own consumer may construct the store."""
+from repro.mvbt.compression import CompressedLeafStore
+
+
+def compress(entries):
+    return CompressedLeafStore(entries)

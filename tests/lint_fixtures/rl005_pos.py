@@ -1,0 +1,7 @@
+"""Positive RL005: compressed-leaf internals touched outside the codec."""
+from repro.mvbt.compression import CompressedLeafStore
+
+
+def rebuild(entries):
+    store = CompressedLeafStore(entries)  # ad-hoc construction
+    return len(store._buf)  # private buffer poked directly

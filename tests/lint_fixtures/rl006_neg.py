@@ -1,0 +1,9 @@
+# repro-lint: scope=src/repro/service/wal.py
+"""Negative RL006: profiling timers never reach the byte stream."""
+import time
+
+
+def timed_append(wal, record):
+    start = time.perf_counter()
+    wal.append(record)
+    return time.perf_counter() - start

@@ -1,0 +1,12 @@
+# repro-lint: scope=src/repro/service/wal.py
+"""Positive RL006: nondeterminism in a replay-deterministic path."""
+import random
+import time as _time
+from uuid import uuid4
+
+
+def stamp_record(record):
+    record["at"] = _time.time()  # replays of the same WAL now differ
+    record["id"] = uuid4()
+    record["salt"] = random.random()
+    return record

@@ -1,0 +1,8 @@
+"""Negative RL006: wall-clock reads are fine outside the durable paths."""
+import time
+
+
+def bench(fn):
+    start = time.time()
+    fn()
+    return time.time() - start

@@ -1,0 +1,27 @@
+# repro-lint: scope=src/repro/service/handler.py
+"""Negative RL007: broad catches that surface the error are fine."""
+import logging
+
+LOG = logging.getLogger(__name__)
+
+
+def handle(request):
+    try:
+        return dispatch(request)
+    except Exception:
+        LOG.exception("request failed")
+        return error_response(500)
+
+
+def load(path):
+    try:
+        return read(path)
+    except Exception as error:
+        raise ServiceError(f"load failed: {path}") from error
+
+
+def narrow(raw):
+    try:
+        return int(raw)
+    except ValueError:  # narrow catch: fine even when silent
+        return 0

@@ -1,0 +1,16 @@
+# repro-lint: scope=src/repro/service/handler.py
+"""Positive RL007: handlers that make failures disappear."""
+
+
+def handle(request):
+    try:
+        return dispatch(request)
+    except Exception:
+        return None  # the failure vanished
+
+
+def parse(raw):
+    try:
+        return int(raw)
+    except:  # noqa: E722 — bare except is the point of this fixture
+        return 0

@@ -1,0 +1,12 @@
+"""Negative RL007: silent broad except outside service/engine paths.
+
+Bench and dataset-generation code may swallow (e.g. optional imports);
+only the hot serving layers are held to the stricter standard.
+"""
+
+
+def probe(fn):
+    try:
+        return fn()
+    except Exception:
+        return None

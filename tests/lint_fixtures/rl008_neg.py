@@ -1,0 +1,12 @@
+"""Negative RL008: None defaults and immutable defaults."""
+
+
+def collect(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket
+
+
+def configure(overrides=None, *, tags=(), limit=10, name=""):
+    return overrides, tags, limit, name

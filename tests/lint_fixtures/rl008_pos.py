@@ -1,0 +1,14 @@
+"""Positive RL008: mutable defaults shared across calls."""
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def configure(overrides={}, *, tags=set()):
+    return overrides, tags
+
+
+def build(parts=list()):
+    return parts

@@ -1,0 +1,10 @@
+"""Negative RL009: literal, well-formed, cataloged metric names."""
+from repro.obs import metrics as _metrics
+
+_UPDATES = _metrics.counter("service.store.updates")
+_QUERY_TIME = _metrics.timer_stat("engine.query")
+
+
+def record(row):
+    _UPDATES.inc()
+    helper.counter(row)  # receiver is not a metrics registry

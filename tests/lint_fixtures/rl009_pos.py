@@ -1,0 +1,9 @@
+"""Positive RL009: metric names the obs catalog does not know."""
+from repro.obs import metrics as _metrics
+
+_TYPO = _metrics.counter("service.store.upates")  # typo: not cataloged
+_BAD_FORM = _metrics.counter("Service Store Updates!")  # malformed
+
+
+def record(name):
+    _metrics.counter(name).inc()  # dynamic name: catalog cannot list it

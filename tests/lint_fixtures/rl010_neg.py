@@ -1,0 +1,16 @@
+# repro-lint: scope=src/repro/mvbt/tree.py
+"""Negative RL010: asserts confined to the invariant-check harnesses."""
+
+
+class Tree:
+    def check_invariants(self):
+        assert self.root is not None
+        self._check_partition(self.root)
+
+    def _check_partition(self, node):
+        assert node.entries, "partition must be non-empty"
+
+    def split(self, node, boundary):
+        if not node.is_leaf:
+            raise RuntimeError("index entry straddles the boundary")
+        return node.split(boundary)

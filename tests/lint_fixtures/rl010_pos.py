@@ -1,0 +1,9 @@
+# repro-lint: scope=src/repro/mvsbt/tree.py
+"""Positive RL010: asserts guarding real control flow."""
+
+assert True, "module-level asserts vanish under -O too"
+
+
+def split_node(node, boundary):
+    assert node.is_leaf, "index entries never straddle"
+    return node.split(boundary)

@@ -1,0 +1,274 @@
+"""repro.lint: the fixture corpus, pragmas, baseline, CLI, and the gate.
+
+Every rule ID has at least one positive fixture (the rule must fire) and
+one negative fixture (it must stay silent); the corpus lives in
+``tests/lint_fixtures/``.  Path-scoped rules are exercised through the
+``# repro-lint: scope=…`` pragma, which is itself under test here.  The
+final test is the gate the CI job enforces: ``repro-tx lint`` over the
+real source tree exits 0.
+"""
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    ALL_RULES,
+    Baseline,
+    RULES_BY_ID,
+    run_lint,
+)
+from repro.lint.checker import PARSE_ERROR_RULE, load_module, main
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+ALL_IDS = sorted(RULES_BY_ID)
+
+
+def findings_for(rule_id: str, fixture: str) -> list:
+    """Run exactly one rule over one fixture file."""
+    path = FIXTURES / fixture
+    assert path.exists(), f"missing fixture {fixture}"
+    return run_lint([str(path)], rules=[RULES_BY_ID[rule_id]])
+
+
+# ------------------------------------------------------------------ registry
+
+
+def test_registry_covers_required_rule_count():
+    assert len(ALL_RULES) >= 6
+    assert all(rule.id.startswith("RL") for rule in ALL_RULES)
+    assert all(rule.title and rule.rationale for rule in ALL_RULES)
+
+
+def test_registry_ids_are_unique_and_sorted():
+    ids = [rule.id for rule in ALL_RULES]
+    assert len(set(ids)) == len(ids)
+    assert ids == sorted(ids)
+
+
+# ------------------------------------------------------------ fixture corpus
+
+POSITIVE_EXPECTATIONS = {
+    "RL001": ("rl001_pos.py", 2),  # fsync under write lock, sleep under read
+    "RL002": ("rl002_pos.py", 3),  # engine swap, insert, revision bump
+    "RL003": ("rl003_pos.py", 2),  # apply-before-append, unlogged apply
+    "RL004": ("rl004_pos.py", 2),  # .end and .death outside helpers
+    "RL005": ("rl005_pos.py", 3),  # import, construction, ._buf poke
+    "RL006": ("rl006_pos.py", 3),  # time.time, uuid4, random.random
+    "RL007": ("rl007_pos.py", 2),  # silent broad except, bare except
+    "RL008": ("rl008_pos.py", 4),  # [], {}, set(), list()
+    "RL009": ("rl009_pos.py", 3),  # typo, malformed, dynamic name
+    "RL010": ("rl010_pos.py", 2),  # module-level + control-flow assert
+}
+
+NEGATIVE_FIXTURES = {
+    "RL001": ["rl001_neg.py"],
+    "RL002": ["rl002_neg.py"],
+    "RL003": ["rl003_neg.py"],
+    "RL004": ["rl004_neg.py"],
+    "RL005": ["rl005_neg.py"],
+    "RL006": ["rl006_neg.py", "rl006_unscoped_neg.py"],
+    "RL007": ["rl007_neg.py", "rl007_unscoped_neg.py"],
+    "RL008": ["rl008_neg.py"],
+    "RL009": ["rl009_neg.py"],
+    "RL010": ["rl010_neg.py"],
+}
+
+
+@pytest.mark.parametrize("rule_id", ALL_IDS)
+def test_every_rule_has_fixtures(rule_id):
+    assert rule_id in POSITIVE_EXPECTATIONS
+    assert rule_id in NEGATIVE_FIXTURES
+
+
+@pytest.mark.parametrize("rule_id", sorted(POSITIVE_EXPECTATIONS))
+def test_positive_fixture_fires(rule_id):
+    fixture, expected = POSITIVE_EXPECTATIONS[rule_id]
+    findings = findings_for(rule_id, fixture)
+    assert len(findings) == expected, [f.render() for f in findings]
+    assert all(f.rule == rule_id for f in findings)
+    # Every finding carries a usable location and snippet.
+    assert all(f.line >= 1 and f.message for f in findings)
+
+
+@pytest.mark.parametrize(
+    "rule_id,fixture",
+    [(rid, fx) for rid, fixtures in sorted(NEGATIVE_FIXTURES.items())
+     for fx in fixtures],
+)
+def test_negative_fixture_stays_silent(rule_id, fixture):
+    findings = findings_for(rule_id, fixture)
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_positive_fixtures_exit_nonzero_via_cli(capsys):
+    """The acceptance gate: `repro-tx lint` exits non-zero per positive."""
+    for rule_id, (fixture, _) in sorted(POSITIVE_EXPECTATIONS.items()):
+        code = main([str(FIXTURES / fixture), "--rules", rule_id,
+                     "--no-baseline"])
+        assert code == 1, f"{fixture} should fail the lint gate"
+    capsys.readouterr()
+
+
+# ---------------------------------------------------------------- pragmas
+
+
+def test_scope_pragma_rewrites_logical_path():
+    module = load_module(FIXTURES / "rl006_pos.py")
+    assert module.logical_path == "src/repro/service/wal.py"
+
+
+def test_inline_disable_suppresses_one_line(tmp_path):
+    target = tmp_path / "snippet.py"
+    target.write_text(
+        "def f(xs=[]):  # repro-lint: disable=RL008\n"
+        "    return xs\n"
+        "def g(ys=[]):\n"
+        "    return ys\n"
+    )
+    findings = run_lint([str(target)], rules=[RULES_BY_ID["RL008"]])
+    assert len(findings) == 1
+    assert "g" in findings[0].message
+
+
+def test_disable_file_pragma_suppresses_whole_file(tmp_path):
+    target = tmp_path / "snippet.py"
+    target.write_text(
+        "# repro-lint: disable-file=RL008\n"
+        "def f(xs=[]):\n"
+        "    return xs\n"
+        "def g(ys={}):\n"
+        "    return ys\n"
+    )
+    assert run_lint([str(target)], rules=[RULES_BY_ID["RL008"]]) == []
+
+
+def test_disable_file_pragma_ignored_past_header(tmp_path):
+    filler = "\n".join(f"x{i} = {i}" for i in range(25))
+    target = tmp_path / "snippet.py"
+    target.write_text(
+        filler + "\n# repro-lint: disable-file=RL008\ndef f(xs=[]):\n"
+        "    return xs\n"
+    )
+    findings = run_lint([str(target)], rules=[RULES_BY_ID["RL008"]])
+    assert len(findings) == 1
+
+
+def test_syntax_error_reports_rl000(tmp_path):
+    target = tmp_path / "broken.py"
+    target.write_text("def f(:\n")
+    findings = run_lint([str(target)])
+    assert len(findings) == 1
+    assert findings[0].rule == PARSE_ERROR_RULE
+
+
+# ---------------------------------------------------------------- baseline
+
+
+def test_baseline_roundtrip_suppresses_and_resurfaces(tmp_path):
+    target = tmp_path / "snippet.py"
+    target.write_text("def f(xs=[]):\n    return xs\n")
+    baseline_path = tmp_path / "baseline.json"
+
+    findings = run_lint([str(target)], rules=[RULES_BY_ID["RL008"]])
+    assert len(findings) == 1
+    Baseline().save(baseline_path, findings)
+
+    accepted = Baseline.load(baseline_path)
+    assert accepted.filter(findings) == []
+
+    # Editing the offending line changes the fingerprint: it resurfaces.
+    target.write_text("def f(xs=[4]):\n    return xs\n")
+    fresh = run_lint([str(target)], rules=[RULES_BY_ID["RL008"]])
+    assert len(accepted.filter(fresh)) == 1
+
+
+def test_baseline_is_line_move_stable(tmp_path):
+    target = tmp_path / "snippet.py"
+    target.write_text("def f(xs=[]):\n    return xs\n")
+    baseline_path = tmp_path / "baseline.json"
+    Baseline().save(
+        baseline_path, run_lint([str(target)], rules=[RULES_BY_ID["RL008"]])
+    )
+    # Unrelated lines added above: the baselined finding stays suppressed.
+    target.write_text("import os\n\n\ndef f(xs=[]):\n    return xs\n")
+    moved = run_lint([str(target)], rules=[RULES_BY_ID["RL008"]])
+    assert Baseline.load(baseline_path).filter(moved) == []
+
+
+def test_stale_baseline_version_is_ignored(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(
+        json.dumps({"version": 999, "fingerprints": ["deadbeef"]})
+    )
+    assert Baseline.load(baseline_path).accepted == set()
+
+
+# --------------------------------------------------------------------- CLI
+
+
+def test_cli_unknown_rule_is_usage_error(capsys):
+    assert main(["--rules", "RL999", str(FIXTURES)]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_missing_path_is_usage_error(capsys):
+    assert main(["definitely/not/a/path.py"]) == 2
+    capsys.readouterr()
+
+
+def test_cli_json_format(tmp_path, capsys):
+    target = tmp_path / "snippet.py"
+    target.write_text("def f(xs=[]):\n    return xs\n")
+    assert main([str(target), "--no-baseline", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["rule"] == "RL008"
+    assert payload[0]["line"] == 1
+
+
+def test_cli_update_baseline_then_clean(tmp_path, capsys):
+    target = tmp_path / "snippet.py"
+    target.write_text("def f(xs=[]):\n    return xs\n")
+    baseline = tmp_path / "baseline.json"
+    assert main([str(target), "--baseline", str(baseline),
+                 "--update-baseline"]) == 0
+    capsys.readouterr()
+    assert main([str(target), "--baseline", str(baseline)]) == 0
+    assert main([str(target), "--baseline", str(baseline),
+                 "--no-baseline"]) == 1
+    capsys.readouterr()
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ALL_RULES:
+        assert rule.id in out
+
+
+# ------------------------------------------------------------ the real gate
+
+
+def test_repo_source_tree_is_clean():
+    """`repro-tx lint` on the shipped tree: zero findings, exit 0."""
+    findings = run_lint([str(REPO_ROOT / "src")])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_repo_gate_via_subprocess():
+    """End to end through the console entry point, as CI runs it."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "lint",
+         str(REPO_ROOT / "src"), "--no-baseline"],
+        capture_output=True, text=True, cwd=str(REPO_ROOT),
+        env={"PYTHONPATH": str(REPO_ROOT / "src"),
+             "PATH": shutil.os.environ.get("PATH", "")},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "clean" in result.stdout

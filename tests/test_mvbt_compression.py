@@ -1,4 +1,5 @@
 """Tests for the delta compression of MVBT leaves (Section 4.2)."""
+# repro-lint: disable-file=RL005 — the codec's own tests construct the store
 
 import random
 
