@@ -9,7 +9,11 @@ Measures four configurations of the durable serving layer
   per-update fsync, showing what group commit buys,
 * **http reads / http writes** — the same through the
   :class:`~repro.service.server.TemporalService` endpoint, measuring the
-  full JSON + admission-control + socket stack.
+  full JSON + admission-control + socket stack,
+* **cached mix** — a single-threaded repeated-query mix (70% of requests
+  round-robin over a small hot set, 30% distinct cold queries) run twice,
+  with the revision-tagged result cache on and off; the summary line
+  reports median per-request latency and the speedup.
 
 Run directly (no pytest needed)::
 
@@ -25,6 +29,7 @@ from __future__ import annotations
 import http.client
 import json
 import os
+import statistics
 import sys
 import tempfile
 import threading
@@ -43,6 +48,8 @@ TRIPLES = scaled(int(os.environ.get("SERVE_BENCH_TRIPLES", "20000")))
 READS = scaled(int(os.environ.get("SERVE_BENCH_READS", "2000")))
 WRITES = scaled(int(os.environ.get("SERVE_BENCH_WRITES", "2000")))
 READERS = int(os.environ.get("SERVE_BENCH_READERS", "4"))
+MIX_REQUESTS = scaled(int(os.environ.get("SERVE_BENCH_MIX", "600")))
+HOT_PER_TEN = 7  # 70% of mix requests repeat the hot query set
 
 
 def _build_store(directory, **kwargs):
@@ -85,6 +92,44 @@ def bench_store_reads(store, queries) -> tuple[float, int]:
     for t in threads:
         t.join()
     return elapsed, per_thread * READERS
+
+
+def _mixed_requests(graph, hot_queries) -> list[str]:
+    """MIX_REQUESTS queries: HOT_PER_TEN of every 10 round-robin over the
+    hot set, the rest drawn from a pool of distinct cold queries (each a
+    guaranteed cache miss)."""
+    from repro.service.cache import normalize_query
+
+    cold_needed = sum(
+        1 for i in range(MIX_REQUESTS) if i % 10 >= HOT_PER_TEN
+    )
+    seen = {normalize_query(q) for q in hot_queries}
+    cold: list[str] = []
+    seed = 101
+    while len(cold) < cold_needed:
+        for q in selection_queries(graph, count=50, seed=seed):
+            key = normalize_query(q)
+            if key not in seen:
+                seen.add(key)
+                cold.append(q)
+        seed += 1
+    cold_iter = iter(cold)
+    return [
+        hot_queries[i % len(hot_queries)]
+        if i % 10 < HOT_PER_TEN
+        else next(cold_iter)
+        for i in range(MIX_REQUESTS)
+    ]
+
+
+def bench_cached_mix(store, requests) -> tuple[float, int, float]:
+    """Single-threaded latency run; returns (secs, ops, median secs)."""
+    latencies = []
+    for text in requests:
+        start = time.perf_counter()
+        store.query(text)
+        latencies.append(time.perf_counter() - start)
+    return sum(latencies), len(latencies), statistics.median(latencies)
 
 
 def bench_store_writes(store) -> tuple[float, int]:
@@ -159,6 +204,21 @@ def main() -> int:
             elapsed, ops = bench_store_reads(store, queries)
             rows.append(("store reads (%d threads)" % READERS, ops, elapsed))
 
+    medians = {}
+    for label, kwargs in (
+        ("cached mix (70% repeat, cache on)", {}),
+        ("cached mix (70% repeat, cache off)", {"query_cache_size": 0}),
+    ):
+        with tempfile.TemporaryDirectory() as tmp:
+            store, queries = _build_store(
+                os.path.join(tmp, "mix"), group_size=64, **kwargs
+            )
+            with store:
+                requests = _mixed_requests(store.engine._graph, queries)
+                elapsed, ops, median = bench_cached_mix(store, requests)
+                medians[label] = median
+                rows.append((label, ops, elapsed))
+
     for label, kwargs in (
         ("store writes (group=64)", {"group_size": 64}),
         ("store writes (fsync each)", {"group_size": 1}),
@@ -199,7 +259,13 @@ def main() -> int:
             for label, ops, elapsed in rows
         ],
     )
-    report("serve_throughput", table)
+    on = medians["cached mix (70% repeat, cache on)"]
+    off = medians["cached mix (70% repeat, cache off)"]
+    summary = (
+        "cached-mix median latency: on=%.6fs  off=%.6fs  speedup=%.1fx"
+        % (on, off, off / on if on else float("inf"))
+    )
+    report("serve_throughput", table + "\n" + summary)
     return 0
 
 

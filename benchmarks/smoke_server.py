@@ -3,12 +3,13 @@
 Drives the real ``repro-tx serve`` process over HTTP:
 
 1. generate a dataset and start a server with ``--data``,
-2. run queries and durable updates against it,
+2. run queries and durable updates against it, including a repeated-query
+   mix that must show nonzero ``service.cache.hits`` in ``/metrics``,
 3. checkpoint, apply more updates, then SIGKILL the process (no clean
    shutdown),
-4. restart the server on the same directory and verify every
-   acknowledged update survived — both the checkpointed ones and the
-   WAL-only tail.
+4. restart the server (with ``--parallel``) on the same directory and
+   verify every acknowledged update survived — both the checkpointed ones
+   and the WAL-only tail.
 
 Run directly (no pytest needed)::
 
@@ -60,10 +61,10 @@ def wait_healthy(deadline=30.0):
     raise SystemExit("server did not become healthy in time")
 
 
-def start_server(directory, data=None):
+def start_server(directory, data=None, extra=()):
     argv = [
         sys.executable, "-m", "repro.cli", "serve", directory,
-        "--port", str(PORT), "--group-commit", "8",
+        "--port", str(PORT), "--group-commit", "8", *extra,
     ]
     if data:
         argv += ["--data", data]
@@ -127,6 +128,19 @@ def main() -> int:
             status, body = request("GET", "/metrics")
             check("metrics", status == 200 and "counters" in body, status)
 
+            # Cached read path: repeating one query must serve from the
+            # revision-tagged result cache after the first execution.
+            for i in range(6):
+                status, _ = request("POST", "/query", {
+                    "query": "SELECT ?s ?o {?s population ?o ?t}",
+                })
+                check(f"cached mix query {i}", status == 200, status)
+            status, body = request("GET", "/metrics")
+            hits = body["counters"].get("service.cache.hits", 0)
+            check("cache hits nonzero", hits > 0,
+                  {k: v for k, v in body["counters"].items()
+                   if k.startswith("service.")})
+
             os.kill(server.pid, signal.SIGKILL)  # crash, no shutdown
             server.wait(timeout=30)
         finally:
@@ -134,7 +148,9 @@ def main() -> int:
                 server.kill()
                 server.wait(timeout=30)
 
-        server = start_server(storedir)
+        # Restart with parallel scanning on: recovery answers must be
+        # identical regardless of the scan dispatch mode.
+        server = start_server(storedir, extra=("--parallel",))
         try:
             health = wait_healthy()
             check("recovered revision",

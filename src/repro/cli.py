@@ -58,12 +58,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the cost-based optimizer")
     query.add_argument("--time", action="store_true",
                        help="print execution time")
+    query.add_argument("--parallel", action="store_true",
+                       help="dispatch pattern scans on a thread pool "
+                            "(same as REPRO_PARALLEL=1)")
 
     shell = sub.add_parser("shell", help="interactive SPARQLT shell")
     shell.add_argument("dataset")
     shell.add_argument("--no-optimizer", action="store_true")
     shell.add_argument("--time", action="store_true",
                        help="print per-statement execution time")
+    shell.add_argument("--parallel", action="store_true",
+                       help="dispatch pattern scans on a thread pool")
 
     stats = sub.add_parser(
         "stats",
@@ -77,6 +82,8 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--json", action="store_true",
                        help="JSON instead of text rendering")
     stats.add_argument("--no-optimizer", action="store_true")
+    stats.add_argument("--parallel", action="store_true",
+                       help="dispatch pattern scans on a thread pool")
 
     generate = sub.add_parser("generate", help="write a synthetic dataset")
     generate.add_argument("kind", choices=("wikipedia", "govtrack", "yago"))
@@ -116,6 +123,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="never fsync the WAL (faster; loses machine-"
                             "crash durability, keeps process-kill safety)")
     serve.add_argument("--no-optimizer", action="store_true")
+    serve.add_argument("--query-cache", type=int, default=256, metavar="N",
+                       help="revision-tagged result-cache capacity "
+                            "(0 disables; default 256)")
+    serve.add_argument("--parallel", action="store_true",
+                       help="dispatch pattern scans on a thread pool "
+                            "(same as REPRO_PARALLEL=1)")
 
     from .lint import checker as _lint_checker
 
@@ -168,6 +181,8 @@ def cmd_info(args) -> int:
 
 def cmd_query(args) -> int:
     engine = _load_engine(args.dataset, not args.no_optimizer)
+    if args.parallel:
+        engine.parallel = True
     try:
         if args.explain:
             print(engine.explain(args.sparqlt))
@@ -200,6 +215,8 @@ def cmd_stats(args) -> int:
     from .obs import REGISTRY
 
     engine = _load_engine(args.dataset, not args.no_optimizer)
+    if args.parallel:
+        engine.parallel = True
     for text in args.sparqlt:
         try:
             engine.query(text)
@@ -214,6 +231,8 @@ def cmd_shell(args) -> int:
     from .obs import metrics as _obs_metrics
 
     engine = _load_engine(args.dataset, not args.no_optimizer)
+    if args.parallel:
+        engine.parallel = True
     print(f"RDF-TX shell — {args.dataset} loaded "
           f"({sum(t.live_records for t in engine.indexes.values()) // 4} "
           f"live facts). Type .help for commands.")
@@ -319,6 +338,8 @@ def cmd_serve(args) -> int:
         group_size=args.group_commit,
         fsync=not args.no_fsync,
         checkpoint_every=args.checkpoint_every,
+        query_cache_size=args.query_cache or None,
+        parallel=True if args.parallel else None,
     )
     try:
         if args.data:
@@ -330,6 +351,8 @@ def cmd_serve(args) -> int:
             # Adopt a pre-built engine (dataset or snapshot), then
             # checkpoint so the store directory is self-contained.
             store.engine = _load_engine(args.data, not args.no_optimizer)
+            if args.parallel:
+                store.engine.parallel = True
             store.checkpoint()
             print(f"loaded {store.live_facts} live facts")
         service = serve(

@@ -12,6 +12,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from ..cache import LRUCache
 from ..model.graph import TemporalGraph
 from ..model.time import MIN_TIME, NOW, PeriodSet, format_chronon
 from ..mvbt.tree import MVBT, MVBTConfig, bulk_load
@@ -20,11 +21,18 @@ from ..obs.profile import ProfileNode, QueryProfile
 from ..sparqlt.ast import Query
 from ..sparqlt.parser import parse
 from .executor import default_order, execute
+from .parallel import parallel_default
 from .patterns import INDEX_ORDERS, PatternPlan, UnknownTermError, translate_pattern
 from .plan import PlanGraph
 
 _QUERIES = _metrics.counter("engine.queries")
 _QUERY_TIMER = _metrics.REGISTRY.timer_stat("engine.query")
+_PLAN_HITS = _metrics.counter("engine.plan_cache.hits")
+_PLAN_MISSES = _metrics.counter("engine.plan_cache.misses")
+_PLAN_EVICTIONS = _metrics.counter("engine.plan_cache.evictions")
+
+#: Compiled plans kept per engine (prepared statements).
+PLAN_CACHE_CAPACITY = 512
 
 
 @dataclass
@@ -110,6 +118,7 @@ class RDFTX:
         config: MVBTConfig | None = None,
         optimizer=None,
         stats_refresh_threshold: int | None = 256,
+        parallel: bool | None = None,
     ) -> None:
         self.config = config or MVBTConfig(block_capacity=64, weak_min=12,
                                            epsilon=12)
@@ -118,8 +127,21 @@ class RDFTX:
             name: MVBT(self.config) for name in INDEX_ORDERS
         }
         self.optimizer = optimizer
-        #: compiled-plan cache (prepared statements); invalidated by updates.
-        self._plan_cache: dict = {}
+        #: dispatch independent pattern scans on the shared scan pool
+        #: (:mod:`repro.engine.parallel`); None inherits ``REPRO_PARALLEL``.
+        self.parallel = parallel_default() if parallel is None else parallel
+        #: compiled-plan cache (prepared statements).  Plans bake in
+        #: dictionary ids (append-only, never reassigned) and the query
+        #: text's own time windows — nothing data-dependent — so entries
+        #: survive updates and are dropped only when the optimizer
+        #: statistics are rebuilt (the join order could change) or a new
+        #: graph is loaded.
+        self._plan_cache: LRUCache = LRUCache(
+            PLAN_CACHE_CAPACITY,
+            hits=_PLAN_HITS,
+            misses=_PLAN_MISSES,
+            evictions=_PLAN_EVICTIONS,
+        )
         #: the loaded graph, kept so statistics can be rebuilt after updates
         #: (and so updates stay visible to snapshots / ``repro-tx info``).
         self._graph: TemporalGraph | None = None
@@ -203,14 +225,15 @@ class RDFTX:
         self._note_update()
 
     def _note_update(self) -> None:
-        """Invalidate caches after an update.
+        """Track an applied update.
 
-        The plan cache must go immediately (plans bake in dictionary ids
-        and time ranges); the optimizer statistics only degrade gradually,
-        so they are left in place and rebuilt lazily once
-        ``stats_refresh_threshold`` updates accumulate.
+        Compiled plans deliberately survive: dictionary ids are append-only
+        (a plan's baked ids stay valid) and time windows come from the
+        query text, so a cached plan re-executed after a write sees the new
+        data through its scans.  Only the optimizer statistics degrade —
+        they are rebuilt (dropping the plan cache, since the join order may
+        change) once ``stats_refresh_threshold`` updates accumulate.
         """
-        self._plan_cache.clear()
         self._stats_dirty += 1
 
     @property
@@ -263,16 +286,25 @@ class RDFTX:
     def compile(self, text: str | Query) -> tuple[PlanGraph, list[int]]:
         """Parse, translate and order a query; returns (plan graph, order).
 
-        Compiled plans are cached per query (keyed by text, or by object
-        identity for pre-parsed queries) until the next update, so repeated
-        queries pay optimization once — prepared-statement behaviour.
+        Compiled plans are LRU-cached per query text, so repeated queries
+        pay parsing and optimization once — prepared-statement behaviour.
+        Entries survive updates (see :meth:`_note_update`) and are dropped
+        when the statistics are rebuilt.  Pre-parsed :class:`Query` objects
+        are not cached: an object-identity key can alias once the object
+        is collected, handing a stranger's plan to a new query.
         """
         self._maybe_refresh_statistics()
-        cache_key = text if isinstance(text, str) else id(text)
-        cached = self._plan_cache.get(cache_key)
-        if cached is not None:
-            return cached
-        query = parse(text) if isinstance(text, str) else text
+        if isinstance(text, str):
+            cached = self._plan_cache.get(text)
+            if cached is not None:
+                return cached
+            return self._compile_parsed(parse(text), text)
+        return self._compile_parsed(text, None)
+
+    def _compile_parsed(
+        self, query: Query, cache_key: str | None
+    ) -> tuple[PlanGraph, list[int]]:
+        """Translate and order an already-parsed query, caching by text."""
         conjuncts = query.filter_conjuncts()
         patterns = [
             translate_pattern(p, self.dictionary, conjuncts)
@@ -283,9 +315,8 @@ class RDFTX:
             order = self.optimizer.choose_order(graph)
         else:
             order = default_order(graph)
-        if len(self._plan_cache) > 512:
-            self._plan_cache.clear()
-        self._plan_cache[cache_key] = (graph, order)
+        if cache_key is not None:
+            self._plan_cache.put(cache_key, (graph, order))
         return graph, order
 
     def query(self, text: str | Query, profile: bool = False) -> QueryResult:
@@ -297,10 +328,17 @@ class RDFTX:
         row counts, index scan counters, and — when the optimizer is on —
         estimated vs. actual cardinalities with per-pattern q-errors.
         """
-        query = parse(text) if isinstance(text, str) else text
         from .operators import project
 
         self._maybe_refresh_statistics()
+        plan: tuple[PlanGraph, list[int]] | None = None
+        if isinstance(text, str):
+            # A plan-cache hit skips the parse too: the compiled graph
+            # carries its parsed query.
+            plan = self._plan_cache.get(text)
+            query = plan[0].query if plan is not None else parse(text)
+        else:
+            query = text
         want_profile = profile and _metrics.ENABLED
         prof_root = ProfileNode(op="execute") if want_profile else None
         started = time.perf_counter()
@@ -318,25 +356,30 @@ class RDFTX:
             )
             rows = execute_group(
                 query.group, self.indexes, self.dictionary, self.horizon,
-                choose, profile=prof_root,
+                choose, profile=prof_root, parallel=self.parallel,
             )
             projected = project(rows, query.select, self.dictionary)
             return self._finish_result(
                 query, projected, prof_root, started
             )
-        try:
-            graph, order = self.compile(query)
-        except UnknownTermError:
-            # A constant term missing from the dictionary: no pattern can
-            # match, so there is nothing to execute (or profile beyond an
-            # empty projection).
-            return self._finish_result(query, [], prof_root, started)
+        if plan is None:
+            try:
+                plan = self._compile_parsed(
+                    query, text if isinstance(text, str) else None
+                )
+            except UnknownTermError:
+                # A constant term missing from the dictionary: no pattern
+                # can match, so there is nothing to execute (or profile
+                # beyond an empty projection).
+                return self._finish_result(query, [], prof_root, started)
+        graph, order = plan
         step_estimates = None
         if want_profile:
             step_estimates = self._annotate_estimates(graph, order)
         rows = execute(
             graph, self.indexes, self.dictionary, self.horizon, order,
             profile=prof_root, step_estimates=step_estimates,
+            parallel=self.parallel,
         )
         projected = project(rows, query.select, self.dictionary)
         return self._finish_result(query, projected, prof_root, started)

@@ -29,6 +29,7 @@ from .operators import (
     synchronized_join_applicable,
     synchronized_join_rows,
 )
+from .parallel import note_prefetch, parallel_scan_pieces, scan_pool
 from .plan import PlanGraph
 
 #: Index name -> MVBT mapping held by the engine.
@@ -83,6 +84,12 @@ def _scan_detail(plan) -> str:
     return f"{plan.index_order.upper()} {plan.pattern}"
 
 
+def _scan_rows(tree: MVBT, plan) -> list[Row]:
+    """Materialize one pattern scan — the unit of pool work in parallel
+    mode."""
+    return list(index_scan(tree, plan))
+
+
 def execute(
     graph: PlanGraph,
     indexes: IndexSet,
@@ -91,6 +98,7 @@ def execute(
     order: list[int] | None = None,
     profile: ProfileNode | None = None,
     step_estimates: dict[frozenset, float] | None = None,
+    parallel: bool = False,
 ) -> list[Row]:
     """Run the plan and return projected result rows.
 
@@ -101,6 +109,12 @@ def execute(
     node; ``step_estimates`` maps frozensets of joined pattern indices to
     the optimizer's estimated output cardinality so join nodes carry
     estimates too (see :func:`repro.optimizer.cost.order_prefix_estimates`).
+
+    ``parallel`` dispatches the plan's independent pattern scans on the
+    shared scan pool (:mod:`repro.engine.parallel`) — the results are
+    consumed in plan order, so output is identical to serial execution.
+    Ignored while profiling, where per-operator timings must reflect the
+    caller thread's own work.
     """
     if order is None:
         order = default_order(graph)
@@ -109,8 +123,14 @@ def execute(
     joined: set[int] = set()
     current: ProfileNode | None = None
     perf = time.perf_counter
+    prefetched: dict[int, object] = {}
 
     def finish(result_rows: list[Row]) -> list[Row]:
+        # An early exit (empty intermediate result) can leave scans
+        # pending; queued ones are dropped, running ones finish harmlessly
+        # (scans are read-only).
+        for future in prefetched.values():
+            future.cancel()
         if profiling and current is not None:
             profile.children.append(current)
         return result_rows
@@ -177,10 +197,42 @@ def execute(
             rows, pending = filter_step(rows, pending, bound)
             if not rows:
                 return finish([])
+    # Parallel mode: with several scans left, prefetch them all on the
+    # pool and consume in plan order; with a single scan left, fan its
+    # work out per leaf instead (pattern-level parallelism has nothing to
+    # overlap).  Workers never submit to the pool themselves, so a
+    # bounded pool cannot deadlock.
+    leaf_parallel = False
+    if parallel and not profiling:
+        if len(order) > 1:
+            pool = scan_pool()
+            for index in order:
+                plan = graph.patterns[index]
+                prefetched[index] = pool.submit(
+                    _scan_rows, indexes[plan.index_order], plan
+                )
+            note_prefetch(len(prefetched))
+        else:
+            leaf_parallel = True
     for index in order:
         plan = graph.patterns[index]
         tree: MVBT = indexes[plan.index_order]
-        scanned = index_scan(tree, plan)
+        if index in prefetched:
+            scanned = prefetched.pop(index).result()
+        elif leaf_parallel:
+            scanned = index_scan(
+                tree,
+                plan,
+                pieces=parallel_scan_pieces(
+                    tree,
+                    plan.key_low,
+                    plan.key_high,
+                    plan.time_range.start,
+                    plan.time_range.end,
+                ),
+            )
+        else:
+            scanned = index_scan(tree, plan)
         pattern_vars = plan.pattern.variables()
         scan_node: ProfileNode | None = None
         if profiling:
@@ -263,6 +315,7 @@ def execute_group(
     horizon: int,
     choose_order: "Callable | None" = None,
     profile: ProfileNode | None = None,
+    parallel: bool = False,
 ) -> list[Row]:
     """Evaluate a :class:`~repro.sparqlt.ast.GroupGraphPattern`.
 
@@ -299,7 +352,7 @@ def execute_group(
             else default_order(plan_graph)
         )
         rows = execute(plan_graph, indexes, dictionary, horizon, order,
-                       profile=profile)
+                       profile=profile, parallel=parallel)
         bound = {
             name for pattern in group.patterns
             for name in pattern.variables()
@@ -313,7 +366,7 @@ def execute_group(
         for branch in branches:
             union_rows.extend(
                 execute_group(branch, indexes, dictionary, horizon,
-                              choose_order)
+                              choose_order, parallel=parallel)
             )
             union_vars |= branch.variables()
         if rows is None:
@@ -330,7 +383,8 @@ def execute_group(
 
     for optional in group.optionals:
         optional_rows = execute_group(
-            optional, indexes, dictionary, horizon, choose_order
+            optional, indexes, dictionary, horizon, choose_order,
+            parallel=parallel
         )
         shared = bound & optional.variables()
         rows = list(left_outer_join_rows(rows or [], optional_rows, shared))

@@ -1,0 +1,135 @@
+"""Parallel pattern scanning (the ``REPRO_PARALLEL`` switch).
+
+Two levels of read-path parallelism over a shared
+:class:`~concurrent.futures.ThreadPoolExecutor`:
+
+* **pattern-level** — the independent :class:`~repro.engine.patterns.PatternPlan`
+  index scans of a multi-pattern query are dispatched concurrently and
+  consumed in plan order (:func:`repro.engine.executor.execute`), and
+* **leaf-level** — a single scan's work is released per MVBT leaf
+  (:func:`parallel_scan_pieces` over
+  :func:`~repro.mvbt.scan.scan_leaf_pieces`), keeping the pool busy when
+  one pattern dominates.
+
+Scans are read-only over MVBT nodes that are immutable after load (the
+serving layer's RW lock additionally excludes writers), so no
+synchronization beyond the pool itself is needed.  Results are assembled
+in deterministic visit order, so parallel mode is **byte-identical** to
+serial mode — verified by ``tests/test_parallel_scan.py``.
+
+The switch defaults **off** (serial) for determinism of timings and
+profiles: enable per process with ``REPRO_PARALLEL=1`` (an integer > 1
+also sizes the pool), per engine via ``RDFTX(parallel=True)``, or per
+invocation with the CLI ``--parallel`` flags.  The scan loops are pure
+Python, so today's wins are bounded by the GIL — the structure is what
+the switch buys (compressed-leaf decoding and any future C-accelerated
+decode parallelize for free).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from ..mvbt.scan import publish_scan_counters, query_leaves, scan_leaf_pieces
+from ..mvbt.tree import MVBT
+from ..obs import metrics as _metrics
+
+__all__ = [
+    "parallel_default",
+    "parallel_scan_pieces",
+    "scan_pool",
+]
+
+_PARALLEL_SCANS = _metrics.counter("engine.parallel.scans")
+_LEAF_TASKS = _metrics.counter("engine.parallel.leaf_tasks")
+_PREFETCHES = _metrics.counter("engine.parallel.prefetches")
+
+#: Leaf counts at or below this run serially — a task per leaf costs more
+#: than decoding one small page.
+_MIN_PARALLEL_LEAVES = 2
+
+_DEFAULT_MAX_WORKERS = 8
+
+
+def _parse_switch(raw: str | None) -> tuple[bool, int | None]:
+    """``REPRO_PARALLEL`` -> (enabled, worker count override)."""
+    if raw is None:
+        return False, None
+    text = raw.strip().lower()
+    if text in ("", "0", "false", "off", "no"):
+        return False, None
+    try:
+        workers = int(text)
+    except ValueError:
+        return True, None
+    return workers > 0, workers if workers > 1 else None
+
+
+_ENV_ENABLED, _ENV_WORKERS = _parse_switch(os.environ.get("REPRO_PARALLEL"))
+
+
+def parallel_default() -> bool:
+    """Whether ``REPRO_PARALLEL`` turned parallel scanning on at import."""
+    return _ENV_ENABLED
+
+
+def _worker_count() -> int:
+    if _ENV_WORKERS is not None:
+        return _ENV_WORKERS
+    return min(_DEFAULT_MAX_WORKERS, os.cpu_count() or _DEFAULT_MAX_WORKERS)
+
+
+_pool: ThreadPoolExecutor | None = None
+_pool_lock = threading.Lock()
+
+
+def scan_pool() -> ThreadPoolExecutor:
+    """The process-wide scan pool, created on first use."""
+    global _pool
+    if _pool is None:
+        with _pool_lock:
+            if _pool is None:
+                _pool = ThreadPoolExecutor(
+                    max_workers=_worker_count(),
+                    thread_name_prefix="repro-scan",
+                )
+    return _pool
+
+
+def note_prefetch(count: int = 1) -> None:
+    """Record pattern scans dispatched ahead of consumption."""
+    if _metrics.ENABLED:
+        _PREFETCHES.inc(count)
+
+
+def parallel_scan_pieces(
+    tree: MVBT, key_low, key_high, t1: int, t2: int
+) -> list:
+    """:func:`~repro.mvbt.scan.scan_pieces`, fanned out one task per leaf.
+
+    The leaf list is computed up front (the tree walk is cheap relative
+    to entry decoding); per-leaf outputs are concatenated in visit order,
+    so the result is element-for-element identical to the serial scan.
+    """
+    leaves = query_leaves(tree, key_low, key_high, t1, t2)
+    out: list = []
+    if len(leaves) <= _MIN_PARALLEL_LEAVES:
+        for leaf in leaves:
+            scan_leaf_pieces(leaf, key_low, key_high, t1, t2, out)
+    else:
+        pool = scan_pool()
+        futures = [
+            pool.submit(scan_leaf_pieces, leaf, key_low, key_high, t1, t2)
+            for leaf in leaves
+        ]
+        for future in futures:
+            out.extend(future.result())
+        if _metrics.ENABLED:
+            _PARALLEL_SCANS.inc()
+            _LEAF_TASKS.inc(len(leaves))
+    publish_scan_counters(
+        len(leaves), sum(leaf.count for leaf in leaves), len(out)
+    )
+    return out

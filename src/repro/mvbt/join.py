@@ -13,7 +13,8 @@ key component pair plus non-empty temporal intersection.
 
 from __future__ import annotations
 
-from collections import defaultdict
+from bisect import bisect_left
+from collections import OrderedDict, defaultdict
 from typing import Callable, Iterator
 
 from ..model.time import MIN_TIME, NOW, Period, PeriodSet
@@ -32,9 +33,12 @@ def hash_join(
     """Temporal hash join of two scan streams.
 
     Builds a hash table on the left stream keyed by ``left_key`` (with
-    per-record coalesced periods), probes with the right stream, and emits
-    ``(left_record_key, right_record_key, intersection)`` for every pair
-    whose periods intersect.
+    per-record coalesced periods), then probes with the right stream one
+    piece at a time: each right piece is intersected against its matching
+    left records immediately, and the surviving intersection pieces are
+    coalesced per ``(left_record_key, right_record_key)`` group.  Peak
+    memory is the left table plus the join *output* — the right stream is
+    never materialized.
     """
     table: dict[object, dict[Key, list[Period]]] = defaultdict(
         lambda: defaultdict(list)
@@ -45,37 +49,41 @@ def hash_join(
         join_key: {k: PeriodSet(parts) for k, parts in records.items()}
         for join_key, records in table.items()
     }
-    right_records: dict[object, dict[Key, list[Period]]] = defaultdict(
-        lambda: defaultdict(list)
-    )
-    for key, period, _ in right:
-        right_records[right_key(key)][key].append(period)
-    for join_key, records in right_records.items():
-        matches = coalesced.get(join_key)
+    pairs: dict[tuple[Key, Key], list[Period]] = {}
+    for rkey, rperiod, _ in right:
+        matches = coalesced.get(right_key(rkey))
         if not matches:
             continue
-        for rkey, parts in records.items():
-            rperiods = PeriodSet(parts)
-            for lkey, lperiods in matches.items():
-                common = lperiods.intersect(rperiods)
-                if not common.is_empty:
-                    yield lkey, rkey, common
+        piece = PeriodSet.single(rperiod)
+        for lkey, lperiods in matches.items():
+            common = lperiods.intersect(piece)
+            if not common.is_empty:
+                pairs.setdefault((lkey, rkey), []).extend(common)
+    for (lkey, rkey), parts in pairs.items():
+        yield lkey, rkey, PeriodSet(parts)
 
 
 class _LeafCache:
-    """Decoded-records cache for synchronized join page visits."""
+    """Decoded-records LRU cache for synchronized join page visits.
+
+    A hit promotes the leaf to most-recently-used, so the hot left page
+    paired against a run of right pages stays resident for the whole run
+    (FIFO eviction would rotate it out mid-join).  Entries key on the
+    leaf's stable ``uid`` — ``id(leaf)`` can alias after a collected node's
+    address is reused.
+    """
 
     def __init__(self, capacity: int = 64) -> None:
         self._capacity = capacity
-        self._cache: dict[int, list[tuple[Key, Period]]] = {}
-        self._order: list[int] = []
+        self._cache: OrderedDict[int, list[tuple[Key, Period]]] = OrderedDict()
         self.hits = 0
         self.misses = 0
 
     def records(self, leaf: LeafNode) -> list[tuple[Key, Period]]:
-        found = self._cache.get(id(leaf))
+        found = self._cache.get(leaf.uid)
         if found is not None:
             self.hits += 1
+            self._cache.move_to_end(leaf.uid)
             return found
         self.misses += 1
         decoded = []
@@ -83,11 +91,9 @@ class _LeafCache:
             period = leaf.effective_period(entry.start, entry.end)
             if period is not None:
                 decoded.append((entry.key, period))
-        self._cache[id(leaf)] = decoded
-        self._order.append(id(leaf))
-        if len(self._order) > self._capacity:
-            evicted = self._order.pop(0)
-            self._cache.pop(evicted, None)
+        self._cache[leaf.uid] = decoded
+        if len(self._cache) > self._capacity:
+            self._cache.popitem(last=False)
         return decoded
 
 
@@ -121,9 +127,15 @@ def synchronized_join(
     left_leaves = list(
         _visit_leaves(left_tree, key_low, key_high, t1, t2, border)
     )
-    right_leaves = list(
-        _visit_leaves(right_tree, r_low, r_high, t1, t2, border)
+    # Right leaves sorted by lifetime start: the leaves overlapping one
+    # left leaf's lifetime form the prefix with ``start < lleaf.death``
+    # (found by bisect), which the pairing loop walks in lock-step instead
+    # of rescanning all R pages for each of the L left pages.
+    right_leaves = sorted(
+        _visit_leaves(right_tree, r_low, r_high, t1, t2, border),
+        key=lambda leaf: leaf.start,
     )
+    right_starts = [leaf.start for leaf in right_leaves]
     # Pair pages whose lifetimes intersect; records within are then matched
     # on the join key and on temporal intersection.
     pieces: dict[tuple[Key, Key], list[Period]] = defaultdict(list)
@@ -138,8 +150,9 @@ def synchronized_join(
         by_join: dict[object, list[tuple[Key, Period]]] = defaultdict(list)
         for key, period in l_records:
             by_join[left_key(key)].append((key, period))
-        for rleaf in right_leaves:
-            if not _lifetimes_overlap(lleaf, rleaf):
+        window_end = bisect_left(right_starts, lleaf.death)
+        for rleaf in right_leaves[:window_end]:
+            if rleaf.death <= lleaf.start:
                 continue
             for rkey, rperiod in cache.records(rleaf):
                 if not (r_low <= rkey < r_high):
@@ -152,7 +165,3 @@ def synchronized_join(
                         pieces[(lkey, rkey)].append(common)
     for (lkey, rkey), parts in pieces.items():
         yield lkey, rkey, PeriodSet(parts)
-
-
-def _lifetimes_overlap(a: LeafNode, b: LeafNode) -> bool:
-    return a.start < b.death and b.start < a.death

@@ -13,6 +13,7 @@ matching the paper's trade-off).
 
 from __future__ import annotations
 
+import itertools
 from typing import TYPE_CHECKING, Iterable, Iterator
 
 from ..model.time import NOW, Period
@@ -21,11 +22,19 @@ from .entry import IndexEntry, Key, LeafEntry
 if TYPE_CHECKING:  # pragma: no cover
     from .compression import CompressedLeafStore
 
+#: Process-wide node identities.  ``id(node)`` can alias once a node is
+#: collected, so anything that outlives a node reference (decoded-record
+#: caches, debug maps) keys on ``node.uid`` instead.  Never serialized:
+#: snapshots rebuild the graph through dense table indices.
+_NODE_UIDS = itertools.count(1)
+
 
 class _NodeBase:
     """State shared by leaf and index nodes: lifetime, region, lineage."""
 
     def __init__(self, key_low: Key, start: int) -> None:
+        #: Stable per-process identity (see :data:`_NODE_UIDS`).
+        self.uid = next(_NODE_UIDS)
         #: Lower bound of the node's key region.
         self.key_low = key_low
         #: Upper bound of the node's key region (None = unbounded).  Kept so

@@ -47,6 +47,77 @@ def prefix_range(prefix: tuple) -> tuple[Key, Key]:
     return tuple(prefix), tuple(prefix) + (MAX_KEY_COMPONENT,)
 
 
+def query_leaves(
+    tree: MVBT,
+    key_low: Key = MIN_KEY,
+    key_high: Key = MAX_KEY,
+    t1: int = MIN_TIME,
+    t2: int = NOW,
+) -> list[LeafNode]:
+    """The leaves a range-interval scan would visit, in visit order.
+
+    This is the batch frontier of the parallel scanner
+    (:mod:`repro.engine.parallel`): each returned leaf is an independent
+    unit of decode work (:func:`scan_leaf_pieces`), and concatenating the
+    per-leaf outputs in this list's order reproduces
+    :func:`scan_pieces` exactly.
+    """
+    if key_low >= key_high or t1 >= t2:
+        return []
+    border = min(t2 - 1, tree.current_time)
+    if border < MIN_TIME:
+        return []
+    return list(_visit_leaves(tree, key_low, key_high, t1, t2, border))
+
+
+def scan_leaf_pieces(
+    leaf: LeafNode,
+    key_low: Key,
+    key_high: Key,
+    t1: int,
+    t2: int,
+    out: list[tuple[Key, int, int, Any]] | None = None,
+) -> list[tuple[Key, int, int, Any]]:
+    """One leaf's ``(key, start, end, payload)`` pieces inside the region.
+
+    The per-leaf unit of :func:`scan_pieces` (hot loop of every query —
+    entry intervals are clamped to the node's lifetime inline, no Period
+    objects are built).  Appends into ``out`` when given so the serial
+    scan keeps a single result list.  Publishes no metrics; batch callers
+    aggregate.
+    """
+    if out is None:
+        out = []
+    append = out.append
+    node_start = leaf.start
+    node_death = leaf.death
+    for entry in leaf.entries():
+        key = entry.key
+        if key < key_low or key >= key_high:
+            continue
+        lo = entry.start
+        if node_start > lo:
+            lo = node_start
+        hi = entry.end
+        if node_death < hi:
+            hi = node_death
+        if lo >= hi or lo >= t2 or t1 >= hi:
+            continue
+        append((key, lo, hi, entry.payload))
+    return out
+
+
+def publish_scan_counters(leaves: int, examined: int, emitted: int) -> None:
+    """Publish one scan's aggregated counters (no-op under REPRO_OBS=0)."""
+    if not _metrics.ENABLED:
+        return
+    _SCANS.inc()
+    _LEAVES.inc(leaves)
+    _EXAMINED.inc(examined)
+    _EMITTED.inc(emitted)
+    _PRUNED.inc(examined - emitted)
+
+
 def scan_pieces(
     tree: MVBT,
     key_low: Key = MIN_KEY,
@@ -67,32 +138,13 @@ def scan_pieces(
     obs_on = _metrics.ENABLED
     leaves = examined = 0
     out: list[tuple[Key, int, int, Any]] = []
-    append = out.append
     for leaf in _visit_leaves(tree, key_low, key_high, t1, t2, border):
         if obs_on:
             leaves += 1
             examined += leaf.count
-        node_start = leaf.start
-        node_death = leaf.death
-        for entry in leaf.entries():
-            key = entry.key
-            if key < key_low or key >= key_high:
-                continue
-            lo = entry.start
-            if node_start > lo:
-                lo = node_start
-            hi = entry.end
-            if node_death < hi:
-                hi = node_death
-            if lo >= hi or lo >= t2 or t1 >= hi:
-                continue
-            append((key, lo, hi, entry.payload))
+        scan_leaf_pieces(leaf, key_low, key_high, t1, t2, out)
     if obs_on:
-        _SCANS.inc()
-        _LEAVES.inc(leaves)
-        _EXAMINED.inc(examined)
-        _EMITTED.inc(len(out))
-        _PRUNED.inc(examined - len(out))
+        publish_scan_counters(leaves, examined, len(out))
     return out
 
 

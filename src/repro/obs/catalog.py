@@ -27,6 +27,12 @@ COUNTERS = frozenset({
     "engine.hash_joins",              # hash-join operator executions
     "engine.index_scan_rows",         # rows emitted by index scans
     "engine.index_scans",             # index-scan operator executions
+    "engine.parallel.leaf_tasks",     # per-leaf scan tasks run on the pool
+    "engine.parallel.prefetches",     # pattern scans prefetched on the pool
+    "engine.parallel.scans",          # scans fanned out per leaf
+    "engine.plan_cache.evictions",    # compiled plans evicted (LRU)
+    "engine.plan_cache.hits",         # compile calls served from cache
+    "engine.plan_cache.misses",       # compile calls that planned afresh
     "engine.queries",                 # SPARQLT queries evaluated
     "engine.sync_join_rows",          # rows emitted by synchronized joins
     "engine.sync_joins",              # synchronized-join executions
@@ -43,6 +49,10 @@ COUNTERS = frozenset({
     "mvbt.tree.key_splits",           # key splits performed
     "mvbt.tree.merges",               # merges performed
     "mvbt.tree.version_splits",       # version splits performed
+    "service.cache.evictions",        # result-cache entries evicted (LRU)
+    "service.cache.hits",             # queries served from the result cache
+    "service.cache.invalidations",    # wholesale result-cache clears
+    "service.cache.misses",           # result-cache lookups that missed
     "service.server.errors",          # unexpected 500s (see error_id log)
     "service.server.rejected",        # admissions rejected with 503
     "service.server.requests",        # HTTP requests received

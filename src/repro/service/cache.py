@@ -1,0 +1,124 @@
+"""Revision-tagged query-result cache for the serving layer.
+
+:class:`QueryCache` memoizes *decoded* query results in front of the
+store's readers-writer lock: a hit never takes the read lock, never
+parses, never scans.  Correctness rests on two rules:
+
+* every entry is tagged with the store **revision** (the last applied
+  WAL LSN) it was computed at, and a lookup only returns an entry whose
+  tag equals the revision the caller is about to serve — a stale entry
+  is a miss, never a wrong answer; and
+* a writer **invalidates wholesale** after applying
+  (:meth:`~repro.service.store.TemporalStore._update`), so stale
+  entries also stop occupying capacity.
+
+Results are snapshotted on insert and copied on every hit, so callers
+can mutate what they get back without poisoning the cache.
+
+Keys are the whitespace-normalized query text (:func:`normalize_query`):
+semantically identical requests differing only in layout share an entry,
+while anything deeper (case, aliasing) intentionally stays distinct —
+normalization must never conflate two queries with different answers.
+"""
+
+from __future__ import annotations
+
+from ..cache import LRUCache
+from ..engine.engine import QueryResult
+from ..obs import metrics as _metrics
+
+__all__ = ["QueryCache", "normalize_query"]
+
+_HITS = _metrics.counter("service.cache.hits")
+_MISSES = _metrics.counter("service.cache.misses")
+_EVICTIONS = _metrics.counter("service.cache.evictions")
+_INVALIDATIONS = _metrics.counter("service.cache.invalidations")
+
+DEFAULT_CAPACITY = 256
+
+
+def normalize_query(text: str) -> str:
+    """Collapse all whitespace runs — the result-cache key."""
+    return " ".join(text.split())
+
+
+def _snapshot(result: QueryResult, revision: int) -> QueryResult:
+    """An isolated copy of a result (rows are row-level copies)."""
+    return QueryResult(
+        variables=list(result.variables),
+        rows=[dict(row) for row in result.rows],
+        revision=revision,
+    )
+
+
+class QueryCache:
+    """An LRU of decoded query results, each tagged with a store revision.
+
+    Besides the revision tag, every entry records the cache *generation*
+    it was computed in (bumped on :meth:`invalidate`).  The revision tag
+    alone cannot catch one corner: a bulk load
+    (:meth:`~repro.service.store.TemporalStore.load_dataset`) replaces
+    the data without moving the revision, so a slow reader that started
+    before the load could :meth:`put` a pre-load result *after* the
+    load's invalidation — tagged with a still-current revision.  The
+    reader's generation token (captured before its read) makes that
+    entry unreturnable.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self._lru = LRUCache(capacity, evictions=_EVICTIONS)
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Invalidation epoch; capture before computing a result to
+        :meth:`put`."""
+        return self._generation
+
+    def get(self, key: str, revision: int) -> QueryResult | None:
+        """The cached result for ``key`` at exactly ``revision``, or None.
+
+        A revision or generation mismatch counts as a miss: the entry was
+        computed against different data.
+        """
+        entry = self._lru.get(key)
+        if (
+            entry is None
+            or entry[0] != self._generation
+            or entry[1].revision != revision
+        ):
+            if _metrics.ENABLED:
+                _MISSES.inc()
+            return None
+        if _metrics.ENABLED:
+            _HITS.inc()
+        return _snapshot(entry[1], revision)
+
+    def put(
+        self,
+        key: str,
+        revision: int,
+        result: QueryResult,
+        generation: int | None = None,
+    ) -> None:
+        """Remember ``result`` as computed at ``revision``.
+
+        ``generation`` is the token captured before the result was
+        computed (defaults to the current one).  Profiled results are the
+        caller's to skip — profiles carry per-execution timings that make
+        no sense replayed.
+        """
+        if generation is None:
+            generation = self._generation
+        self._lru.put(key, (generation, _snapshot(result, revision)))
+
+    def invalidate(self) -> int:
+        """Drop everything (a writer applied); returns entries dropped."""
+        self._generation += 1
+        dropped = self._lru.clear()
+        if _metrics.ENABLED:
+            _INVALIDATIONS.inc()
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._lru)

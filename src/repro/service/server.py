@@ -179,6 +179,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "status": "ok",
                 "revision": store.revision,
                 "live_facts": store.live_facts,
+                "cached_results": store.cached_results,
             })
         elif parsed.path == "/metrics":
             wants_text = parse_qs(parsed.query).get("format") == ["text"]

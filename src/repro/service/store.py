@@ -31,6 +31,7 @@ from ..model.graph import TemporalGraph
 from ..model.time import MIN_TIME, NOW
 from ..mvbt.tree import DuplicateKeyError, MVBTConfig, TimeOrderError
 from ..obs import metrics as _metrics
+from .cache import QueryCache, normalize_query
 from .locks import ReadWriteLock, requires_writer_lock
 from .snapshot import load_snapshot, save_snapshot
 from .wal import WriteAheadLog
@@ -73,6 +74,8 @@ class TemporalStore:
         fsync: bool = True,
         checkpoint_every: int | None = None,
         stats_refresh_threshold: int | None = 256,
+        query_cache_size: int | None = 256,
+        parallel: bool | None = None,
     ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -85,6 +88,11 @@ class TemporalStore:
         self.checkpoint_every = checkpoint_every
         self._since_checkpoint = 0
         self._closed = False
+        #: revision-tagged result cache (None when disabled); hits are
+        #: served without the read lock (see :meth:`query`).
+        self._query_cache = (
+            QueryCache(query_cache_size) if query_cache_size else None
+        )
 
         snapshot_lsn = 0
         if self.snapshot_path.exists():
@@ -104,6 +112,8 @@ class TemporalStore:
                 stats_refresh_threshold=stats_refresh_threshold,
             )
             self.engine.load(TemporalGraph())
+        if parallel is not None:
+            self.engine.parallel = parallel
         self._revision = snapshot_lsn
 
         self._wal = WriteAheadLog(
@@ -157,6 +167,8 @@ class TemporalStore:
                 raise StoreError("load_dataset requires an empty store")
             with self._rw.write_locked():
                 self.engine.load(graph, compress=compress)
+            if self._query_cache is not None:
+                self._query_cache.invalidate()
         self.checkpoint()
 
     # -------------------------------------------------------------- updates
@@ -183,6 +195,13 @@ class TemporalStore:
             with self._rw.write_locked():
                 self._apply(op, subject, predicate, object, time)
                 self._revision = lsn
+            # After the revision bump: a concurrent reader that misses
+            # here re-executes; one that hit just before served the older
+            # revision it was pinned to.  Cleared outside the RW lock —
+            # stale entries are already unreturnable (revision tags), the
+            # clear only reclaims capacity.
+            if self._query_cache is not None:
+                self._query_cache.invalidate()
             self._since_checkpoint += 1
             if _metrics.ENABLED:
                 _UPDATES.inc()
@@ -249,11 +268,30 @@ class TemporalStore:
 
         The result's ``revision`` is the store revision (last applied LSN)
         the reader was pinned to.
+
+        The result cache sits entirely *outside* the read lock: a hit
+        returns a result whose revision tag equals the revision the store
+        held at lookup — equivalent to a reader pinned an instant
+        earlier.  Profiled queries bypass the cache (profiles are
+        per-execution).
         """
+        cache = self._query_cache
+        key: str | None = None
+        generation = 0
+        if cache is not None and not profile:
+            key = normalize_query(text)
+            hit = cache.get(key, self._revision)
+            if hit is not None:
+                if _metrics.ENABLED:
+                    _QUERIES.inc()
+                return hit
+            generation = cache.generation
         with self._rw.read_locked():
             revision = self._revision
             result = self.engine.query(text, profile=profile)
         result.revision = revision
+        if key is not None:
+            cache.put(key, revision, result, generation=generation)
         if _metrics.ENABLED:
             _QUERIES.inc()
         return result
@@ -266,6 +304,13 @@ class TemporalStore:
     @property
     def live_facts(self) -> int:
         return self.engine.indexes["spo"].live_records
+
+    @property
+    def cached_results(self) -> int | None:
+        """Entries currently in the result cache (None when disabled)."""
+        if self._query_cache is None:
+            return None
+        return len(self._query_cache)
 
     # ---------------------------------------------------------- maintenance
 

@@ -169,6 +169,43 @@ class TestSynchronizedJoin:
         assert cache.misses == len(leaves)
         assert cache.hits == 4 * len(leaves)
 
+    def test_cache_lru_promotion(self):
+        """A hit keeps the leaf resident: eviction takes the *least
+        recently used* entry, not the oldest insertion (FIFO would evict
+        the hot left page mid-run)."""
+        from repro.mvbt.join import _LeafCache
+
+        tree = build_tree([((i, 0, 0), 1, 50) for i in range(40)])
+        leaves = list(tree.leaf_nodes())
+        assert len(leaves) >= 3
+        a, b, c = leaves[0], leaves[1], leaves[2]
+        cache = _LeafCache(capacity=2)
+        cache.records(a)
+        cache.records(b)
+        cache.records(a)  # promote a: b is now least recently used
+        cache.records(c)  # evicts b, not a
+        hits_before = cache.hits
+        cache.records(a)
+        assert cache.hits == hits_before + 1
+        misses_before = cache.misses
+        cache.records(b)
+        assert cache.misses == misses_before + 1
+
+    def test_cache_keys_on_stable_uid(self):
+        """Entries key on ``leaf.uid``: two distinct leaves must never
+        share an entry even if ``id()`` aliases after a collection."""
+        from repro.mvbt.join import _LeafCache
+
+        tree = build_tree([((i, 0, 0), 1, 50) for i in range(40)])
+        leaves = list(tree.leaf_nodes())
+        cache = _LeafCache(capacity=128)
+        seen = {}
+        for leaf in leaves:
+            seen[leaf.uid] = cache.records(leaf)
+        assert len(seen) == len(leaves)
+        for leaf in leaves:
+            assert cache.records(leaf) is seen[leaf.uid]
+
     def test_empty_inputs(self):
         left = MVBT(SMALL)
         right = MVBT(SMALL)

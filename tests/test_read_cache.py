@@ -1,0 +1,230 @@
+"""The two-level read-path cache: LRU primitive, revision-tagged result
+cache, plan-cache persistence across writes, and the cached/uncached
+equivalence property.
+
+The load-bearing property sits at the end: a store with the result cache
+on must answer every query identically to a cache-free store through an
+arbitrary interleaving of queries and writes — each write invalidating
+wholesale, each re-query repopulating at the new revision.
+"""
+
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import LRUCache
+from repro.engine.engine import QueryResult
+from repro.model import TemporalGraph, date_to_chronon
+from repro.service.cache import QueryCache, normalize_query
+from repro.service.store import TemporalStore
+
+D = date_to_chronon
+
+
+class TestLRUCache:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # promote a
+        cache.put("c", 3)           # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_put_promotes_existing_key(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # rewrite promotes too
+        cache.put("c", 3)   # evicts b
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+
+    def test_clear_reports_count(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestNormalizeQuery:
+    def test_whitespace_runs_collapse(self):
+        a = "SELECT ?o {UC president ?o ?t}"
+        b = "  SELECT   ?o\n\t{UC  president ?o   ?t}  "
+        assert normalize_query(a) == normalize_query(b)
+
+    def test_distinct_queries_stay_distinct(self):
+        assert normalize_query("SELECT ?o {A p ?o ?t}") != normalize_query(
+            "SELECT ?o {B p ?o ?t}"
+        )
+
+
+def _result(rows, revision=None):
+    return QueryResult(variables=["o"], rows=rows, revision=revision)
+
+
+class TestQueryCache:
+    def test_hit_requires_matching_revision(self):
+        cache = QueryCache(8)
+        cache.put("q", 3, _result([{"o": "x"}]))
+        assert cache.get("q", 4) is None
+        hit = cache.get("q", 3)
+        assert hit is not None and hit.rows == [{"o": "x"}]
+        assert hit.revision == 3
+
+    def test_invalidate_drops_everything(self):
+        cache = QueryCache(8)
+        cache.put("q", 1, _result([]))
+        assert len(cache) == 1
+        assert cache.invalidate() == 1
+        assert cache.get("q", 1) is None
+
+    def test_stale_generation_put_is_unreturnable(self):
+        # A slow reader that computed before an invalidation must not be
+        # able to poison the cache afterwards (the load_dataset race:
+        # data changed, revision did not).
+        cache = QueryCache(8)
+        token = cache.generation
+        cache.invalidate()
+        cache.put("q", 0, _result([{"o": "stale"}]), generation=token)
+        assert cache.get("q", 0) is None
+
+    def test_hits_are_isolated_copies(self):
+        cache = QueryCache(8)
+        cache.put("q", 1, _result([{"o": "x"}]))
+        first = cache.get("q", 1)
+        first.rows[0]["o"] = "mutated"
+        first.rows.append({"o": "extra"})
+        second = cache.get("q", 1)
+        assert second.rows == [{"o": "x"}]
+
+    def test_put_snapshots_the_result(self):
+        cache = QueryCache(8)
+        original = _result([{"o": "x"}])
+        cache.put("q", 1, original)
+        original.rows[0]["o"] = "mutated"
+        assert cache.get("q", 1).rows == [{"o": "x"}]
+
+
+def fixture_graph():
+    g = TemporalGraph()
+    g.add("UC", "president", "Mark_Yudof", D("06/16/2008"), D("09/30/2013"))
+    g.add("UC", "president", "Janet_Napolitano", D("09/30/2013"))
+    g.add("UC", "budget", "22.7", D("01/30/2013"), D("01/30/2015"))
+    g.add("UM", "president", "Mary_Sue_Coleman", D("08/01/2002"))
+    return g
+
+
+QUERIES = [
+    "SELECT ?o ?t {UC president ?o ?t}",
+    "SELECT ?s ?o {?s president ?o ?t}",
+    "SELECT ?s {?s member Senate ?t}",
+    "SELECT ?p ?o {UC ?p ?o ?t . FILTER(YEAR(?t) = 2014)}",
+]
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with TemporalStore(tmp_path, fsync=False) as s:
+        s.load_dataset(fixture_graph())
+        yield s
+
+
+class TestStoreResultCache:
+    def test_repeat_query_is_cached(self, store):
+        first = store.query(QUERIES[0])
+        assert store.cached_results == 1
+        second = store.query(QUERIES[0])
+        assert second.rows == first.rows
+        assert second.revision == first.revision
+
+    def test_whitespace_variants_share_an_entry(self, store):
+        store.query("SELECT ?o ?t {UC president ?o ?t}")
+        store.query("SELECT ?o ?t\n  {UC   president ?o ?t}")
+        assert store.cached_results == 1
+
+    def test_write_invalidates_and_requery_sees_update(self, store):
+        q = "SELECT ?s {?s member Senate ?t}"
+        assert store.query(q).rows == []
+        assert store.cached_results == 1
+        store.insert("Alice", "member", "Senate", D("01/01/2016"))
+        assert store.cached_results == 0
+        result = store.query(q)
+        assert result.rows == [{"s": "Alice"}]
+        assert result.revision == store.revision
+
+    def test_profiled_queries_bypass_the_cache(self, store):
+        store.query(QUERIES[0], profile=True)
+        assert store.cached_results == 0
+        # ... and never serve from it.
+        store.query(QUERIES[0])
+        profiled = store.query(QUERIES[0], profile=True)
+        assert profiled.rows == store.query(QUERIES[0]).rows
+
+    def test_cache_can_be_disabled(self, tmp_path):
+        with TemporalStore(
+            tmp_path / "nocache", fsync=False, query_cache_size=0
+        ) as s:
+            s.load_dataset(fixture_graph())
+            s.query(QUERIES[0])
+            assert s.cached_results is None
+
+    def test_mutating_a_result_does_not_poison_the_cache(self, store):
+        first = store.query(QUERIES[0])
+        first.rows.clear()
+        assert store.query(QUERIES[0]).rows != []
+
+
+@st.composite
+def action_streams(draw):
+    """Interleavings of query (by index) and write actions."""
+    return draw(
+        st.lists(
+            st.one_of(
+                st.integers(min_value=0, max_value=len(QUERIES) - 1),
+                st.just("write"),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+
+
+class TestCachedUncachedEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(actions=action_streams())
+    def test_cached_store_matches_uncached(self, actions):
+        with tempfile.TemporaryDirectory() as cached_dir, \
+                tempfile.TemporaryDirectory() as plain_dir:
+            cached = TemporalStore(cached_dir, fsync=False,
+                                   query_cache_size=64)
+            plain = TemporalStore(plain_dir, fsync=False,
+                                  query_cache_size=0)
+            try:
+                cached.load_dataset(fixture_graph())
+                plain.load_dataset(fixture_graph())
+                writes = 0
+                for action in actions:
+                    if action == "write":
+                        t = D("01/01/2016") + writes
+                        for s in (cached, plain):
+                            s.insert(f"P{writes}", "member", "Senate", t)
+                        writes += 1
+                        continue
+                    text = QUERIES[action]
+                    # Query twice: the second call exercises the hit path.
+                    a1, a2 = cached.query(text), cached.query(text)
+                    b = plain.query(text)
+                    assert a1.rows == b.rows
+                    assert a2.rows == b.rows
+                    assert a1.variables == b.variables
+                    assert a2.revision == cached.revision
+            finally:
+                cached.close()
+                plain.close()

@@ -1,0 +1,119 @@
+"""Border cases of the link-based range-interval scan.
+
+Three corners the reference-model property tests rarely hit by chance:
+
+* ``t2 = NOW`` — the query region's right border must sit exactly on the
+  tree's current time, so dead history *and* live entries are all found;
+* empty-lifetime ``[t, t)`` nodes — same-chronon restructuring churn
+  kills nodes at their own birth version; they contribute no entries but
+  their backward links must still be followed to reach earlier lineage;
+* ``prefix_range`` over a full-length key — the prefix bound must cover
+  exactly that one key, not its neighbors.
+"""
+
+from repro.model.time import MIN_TIME, NOW, Period, PeriodSet
+from repro.mvbt import (
+    MAX_KEY,
+    MIN_KEY,
+    MVBT,
+    MVBTConfig,
+    collect_validity,
+    prefix_range,
+    scan_pieces,
+)
+
+SMALL = MVBTConfig(block_capacity=8, weak_min=2, epsilon=1)
+
+
+def key(n: int) -> tuple:
+    return (n, 0, 0)
+
+
+class TestNowBorder:
+    def test_t2_now_sees_live_and_dead(self):
+        tree = MVBT(SMALL)
+        for i in range(20):
+            tree.insert(key(i), 10 + i)
+        for i in range(0, 20, 2):
+            tree.delete(key(i), 40 + i)
+        got = collect_validity(tree, MIN_KEY, MAX_KEY, MIN_TIME, NOW)
+        assert len(got) == 20
+        for i in range(20):
+            if i % 2:
+                assert got[key(i)] == PeriodSet([Period(10 + i, NOW)])
+            else:
+                assert got[key(i)] == PeriodSet([Period(10 + i, 40 + i)])
+
+    def test_t2_now_with_t1_past_all_deaths(self):
+        tree = MVBT(SMALL)
+        tree.insert(key(1), 10)
+        tree.insert(key(2), 11)
+        tree.delete(key(1), 20)
+        # Window [30, NOW): only the live fact qualifies, clipped at t1.
+        got = collect_validity(tree, MIN_KEY, MAX_KEY, 30, NOW)
+        assert got == {key(2): PeriodSet([Period(11, NOW)])}
+
+    def test_border_clamps_to_current_time(self):
+        tree = MVBT(SMALL)
+        tree.insert(key(1), 10)
+        # t2 far beyond current_time behaves exactly like t2 = NOW.
+        far = tree.current_time + 10_000
+        assert scan_pieces(tree, t1=MIN_TIME, t2=far) == scan_pieces(
+            tree, t1=MIN_TIME, t2=NOW
+        )
+
+
+class TestEmptyLifetimeNodes:
+    def _churned_tree(self) -> MVBT:
+        """Same-chronon bursts force splits at the nodes' own birth
+        version, leaving ``[t, t)`` husks in the predecessor graph."""
+        tree = MVBT(SMALL)
+        for i in range(40):
+            tree.insert(key(i), 10)  # one chronon, many splits
+        for i in range(0, 40, 3):
+            tree.delete(key(i), 20)
+        for i in range(100, 120):
+            tree.insert(key(i), 30)
+        return tree
+
+    def test_churn_creates_empty_lifetime_nodes(self):
+        tree = self._churned_tree()
+        assert any(
+            node.start >= node.death for node in tree.iter_nodes()
+        ), "scenario no longer produces [t, t) nodes; rework the test"
+
+    def test_scan_traverses_past_empty_nodes(self):
+        tree = self._churned_tree()
+        got = collect_validity(tree, MIN_KEY, MAX_KEY, MIN_TIME, NOW)
+        assert len(got) == 60
+        for i in range(40):
+            expected_end = 20 if i % 3 == 0 else NOW
+            assert got[key(i)] == PeriodSet([Period(10, expected_end)])
+        for i in range(100, 120):
+            assert got[key(i)] == PeriodSet([Period(30, NOW)])
+
+    def test_empty_nodes_emit_no_pieces(self):
+        tree = self._churned_tree()
+        for piece_key, lo, hi, _ in scan_pieces(tree):
+            assert lo < hi, f"empty piece for {piece_key}"
+
+
+class TestPrefixRangeFullKey:
+    def test_full_tuple_prefix_is_exact(self):
+        tree = MVBT(SMALL)
+        tree.insert((1, 2, 3, 4), 10)
+        tree.insert((1, 2, 3, 5), 11)
+        tree.insert((1, 2, 4, 4), 12)
+        low, high = prefix_range((1, 2, 3, 4))
+        assert low == (1, 2, 3, 4)
+        got = collect_validity(tree, low, high)
+        assert set(got) == {(1, 2, 3, 4)}
+
+    def test_partial_prefix_still_covers_extensions(self):
+        tree = MVBT(SMALL)
+        tree.insert((1, 2, 3, 4), 10)
+        tree.insert((1, 2, 3, 5), 11)
+        tree.insert((1, 2, 4, 0), 12)
+        low, high = prefix_range((1, 2, 3))
+        got = collect_validity(tree, low, high)
+        assert set(got) == {(1, 2, 3, 4), (1, 2, 3, 5)}
