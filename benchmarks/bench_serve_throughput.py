@@ -14,6 +14,10 @@ Measures four configurations of the durable serving layer
   round-robin over a small hot set, 30% distinct cold queries) run twice,
   with the revision-tagged result cache on and off; the summary line
   reports median per-request latency and the speedup.
+* **observability overhead** — per-request HTTP latency for a read mix
+  and a write mix, once with full tracing (sample rate 1.0) and once
+  with the ``REPRO_OBS`` kill switch engaged; median/p95/p99 land in the
+  machine-readable ``bench_results/BENCH_obs.json``.
 
 Run directly (no pytest needed)::
 
@@ -38,10 +42,16 @@ import time
 # Allow running from the repo root without an installed package.
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.bench.harness import format_table, report, scaled  # noqa: E402
+from repro.bench.harness import (  # noqa: E402
+    RESULTS_DIR,
+    format_table,
+    report,
+    scaled,
+)
 from repro.datasets import wikipedia  # noqa: E402
 from repro.datasets.queries import selection_queries  # noqa: E402
 from repro.model.time import NOW  # noqa: E402
+from repro.obs import metrics as obs_metrics  # noqa: E402
 from repro.service import TemporalStore, serve  # noqa: E402
 
 TRIPLES = scaled(int(os.environ.get("SERVE_BENCH_TRIPLES", "20000")))
@@ -49,6 +59,7 @@ READS = scaled(int(os.environ.get("SERVE_BENCH_READS", "2000")))
 WRITES = scaled(int(os.environ.get("SERVE_BENCH_WRITES", "2000")))
 READERS = int(os.environ.get("SERVE_BENCH_READERS", "4"))
 MIX_REQUESTS = scaled(int(os.environ.get("SERVE_BENCH_MIX", "600")))
+OBS_REQUESTS = scaled(int(os.environ.get("SERVE_BENCH_OBS", "400")))
 HOT_PER_TEN = 7  # 70% of mix requests repeat the hot query set
 
 
@@ -193,6 +204,111 @@ def bench_http_writes(service, store) -> tuple[float, int]:
     return time.perf_counter() - start, WRITES
 
 
+def _percentile(ordered: list[float], q: float) -> float:
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _latency_summary(latencies_ms: list[float]) -> dict:
+    ordered = sorted(latencies_ms)
+    return {
+        "requests": len(ordered),
+        "median_ms": round(_percentile(ordered, 0.5), 4),
+        "p95_ms": round(_percentile(ordered, 0.95), 4),
+        "p99_ms": round(_percentile(ordered, 0.99), 4),
+    }
+
+
+def _timed_http_requests(service, payloads) -> list[float]:
+    """Single-connection POSTs; returns per-request latency in ms."""
+    conn = http.client.HTTPConnection("127.0.0.1", service.port, timeout=60)
+    latencies = []
+    for path, payload in payloads:
+        body = json.dumps(payload)
+        start = time.perf_counter()
+        conn.request("POST", path, body,
+                     {"Content-Type": "application/json"})
+        response = conn.getresponse()
+        response.read()
+        latencies.append((time.perf_counter() - start) * 1000.0)
+        assert response.status == 200, response.status
+    conn.close()
+    return latencies
+
+
+def bench_obs_latency() -> dict:
+    """Per-request latency with tracing on vs the kill switch engaged.
+
+    Each mode gets its own fresh store + in-process server so the two
+    runs see identical state; ``set_enabled`` toggles the same switch the
+    ``REPRO_OBS`` environment variable controls.
+    """
+    was_enabled = obs_metrics.ENABLED
+    modes = {}
+    try:
+        for mode, enabled in (("tracing_on", True), ("tracing_off", False)):
+            obs_metrics.set_enabled(enabled)
+            per_mix = {}
+            with tempfile.TemporaryDirectory() as tmp:
+                store, queries = _build_store(os.path.join(tmp, "obs"),
+                                              group_size=64)
+                with store:
+                    service = serve(store, port=0, max_inflight=4,
+                                    request_timeout=120.0, trace_sample=1.0)
+                    thread = threading.Thread(
+                        target=service.serve_forever, daemon=True
+                    )
+                    thread.start()
+                    try:
+                        reads = [
+                            ("/query", {"query": queries[i % len(queries)]})
+                            for i in range(OBS_REQUESTS)
+                        ]
+                        per_mix["http_reads"] = _latency_summary(
+                            _timed_http_requests(service, reads)
+                        )
+                        writes = [
+                            ("/update", {"op": "insert", "subject": s,
+                                         "predicate": p, "object": o,
+                                         "time": t})
+                            for s, p, o, t in _update_stream(
+                                store, OBS_REQUESTS
+                            )
+                        ]
+                        per_mix["http_writes"] = _latency_summary(
+                            _timed_http_requests(service, writes)
+                        )
+                    finally:
+                        service.shutdown()
+                        thread.join(timeout=30)
+            modes[mode] = per_mix
+    finally:
+        obs_metrics.set_enabled(was_enabled)
+
+    payload = {
+        "triples": TRIPLES,
+        "requests_per_mix": OBS_REQUESTS,
+        "mixes": {},
+    }
+    for mix in ("http_reads", "http_writes"):
+        on = modes["tracing_on"][mix]
+        off = modes["tracing_off"][mix]
+        ratio = (on["median_ms"] / off["median_ms"]
+                 if off["median_ms"] else float("inf"))
+        payload["mixes"][mix] = {
+            "tracing_on": on,
+            "tracing_off": off,
+            "overhead_ratio_median": round(ratio, 4),
+        }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "BENCH_obs.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    return payload
+
+
 def main() -> int:
     rows = []
 
@@ -265,7 +381,22 @@ def main() -> int:
         "cached-mix median latency: on=%.6fs  off=%.6fs  speedup=%.1fx"
         % (on, off, off / on if on else float("inf"))
     )
-    report("serve_throughput", table + "\n" + summary)
+
+    obs = bench_obs_latency()
+    obs_lines = []
+    for mix, data in obs["mixes"].items():
+        obs_lines.append(
+            "obs overhead %s: tracing on median=%.3fms  off median=%.3fms"
+            "  ratio=%.2fx (p95 on/off=%.3f/%.3fms)" % (
+                mix, data["tracing_on"]["median_ms"],
+                data["tracing_off"]["median_ms"],
+                data["overhead_ratio_median"],
+                data["tracing_on"]["p95_ms"],
+                data["tracing_off"]["p95_ms"],
+            )
+        )
+    report("serve_throughput",
+           table + "\n" + summary + "\n" + "\n".join(obs_lines))
     return 0
 
 

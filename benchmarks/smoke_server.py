@@ -4,12 +4,17 @@ Drives the real ``repro-tx serve`` process over HTTP:
 
 1. generate a dataset and start a server with ``--data``,
 2. run queries and durable updates against it, including a repeated-query
-   mix that must show nonzero ``service.cache.hits`` in ``/metrics``,
+   mix that must show nonzero ``service.cache.hits`` in ``/metrics``;
+   query responses must carry a trace id that ``/debug/traces`` can
+   resolve to the request's span tree,
 3. checkpoint, apply more updates, then SIGKILL the process (no clean
    shutdown),
 4. restart the server (with ``--parallel``) on the same directory and
    verify every acknowledged update survived — both the checkpointed ones
-   and the WAL-only tail.
+   and the WAL-only tail,
+5. restart once more with ``REPRO_OBS=0``: tracing must vanish from
+   responses and the obs-on median latency must stay within
+   ``SMOKE_OBS_RATIO`` (default 1.5×) of the kill-switch run.
 
 Run directly (no pytest needed)::
 
@@ -34,6 +39,9 @@ sys.path.insert(0, os.path.join(REPO, "src"))
 
 PORT = int(os.environ.get("SMOKE_SERVER_PORT", "8199"))
 TRIPLES = int(os.environ.get("SMOKE_SERVER_TRIPLES", "2000"))
+# Lenient by default: CI machines are noisy and the latencies are small.
+OBS_RATIO = float(os.environ.get("SMOKE_OBS_RATIO", "1.5"))
+OBS_SAMPLES = int(os.environ.get("SMOKE_OBS_SAMPLES", "60"))
 
 
 def request(method, path, payload=None, timeout=30):
@@ -61,15 +69,37 @@ def wait_healthy(deadline=30.0):
     raise SystemExit("server did not become healthy in time")
 
 
-def start_server(directory, data=None, extra=()):
+def start_server(directory, data=None, extra=(), env_extra=None):
     argv = [
         sys.executable, "-m", "repro.cli", "serve", directory,
         "--port", str(PORT), "--group-commit", "8", *extra,
     ]
     if data:
         argv += ["--data", data]
-    env = {**os.environ, "PYTHONPATH": os.path.join(REPO, "src")}
+    env = {**os.environ, "PYTHONPATH": os.path.join(REPO, "src"),
+           **(env_extra or {})}
     return subprocess.Popen(argv, env=env)
+
+
+def stop_server(server):
+    server.send_signal(signal.SIGINT)
+    try:
+        server.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        server.kill()
+        server.wait(timeout=30)
+
+
+def median_latency(query, samples=OBS_SAMPLES):
+    latencies = []
+    for _ in range(samples):
+        start = time.perf_counter()
+        status, _ = request("POST", "/query", {"query": query})
+        if status != 200:
+            raise SystemExit(f"latency probe got HTTP {status}")
+        latencies.append(time.perf_counter() - start)
+    latencies.sort()
+    return latencies[len(latencies) // 2]
 
 
 def check(name, condition, detail=""):
@@ -99,6 +129,23 @@ def main() -> int:
             })
             check("query", status == 200 and "rows" in result,
                   (status, result))
+            trace_id = result.get("trace_id")
+            check("query trace id", bool(trace_id), result)
+
+            status, detail = request("GET", f"/debug/traces?id={trace_id}")
+            check("debug trace resolves",
+                  status == 200 and detail["trace_id"] == trace_id,
+                  (status, detail))
+
+            def span_names(node, out):
+                out.append(node["name"])
+                for child in node["children"]:
+                    span_names(child, out)
+                return out
+
+            names = span_names(detail["root"], [])
+            check("trace has store.query span", "store.query" in names,
+                  names)
 
             status, body = request("POST", "/update", {
                 "op": "insert", "subject": "SmokeCity",
@@ -180,15 +227,36 @@ def main() -> int:
             check("post-recovery update",
                   status == 200 and body["revision"] == final_revision + 1,
                   (status, body))
-        finally:
-            server.send_signal(signal.SIGINT)
-            try:
-                server.wait(timeout=30)
-            except subprocess.TimeoutExpired:
-                server.kill()
-                server.wait(timeout=30)
 
-    print("OK: serve lifecycle + crash recovery")
+            # Obs-on latency baseline: a cached repeated query, measured
+            # on this (tracing-enabled) server before it shuts down.
+            latency_query = "SELECT ?o {SmokeCity_1 population ?o ?t}"
+            on_median = median_latency(latency_query)
+        finally:
+            stop_server(server)
+
+        # Kill-switch run: REPRO_OBS=0 must hide trace ids and strip the
+        # instrumentation down to noise-level overhead.
+        server = start_server(storedir, env_extra={"REPRO_OBS": "0"})
+        try:
+            wait_healthy()
+            status, result = request("POST", "/query",
+                                     {"query": latency_query})
+            check("kill switch hides trace id",
+                  status == 200 and "trace_id" not in result, result)
+            status, listing = request("GET", "/debug/traces")
+            check("kill switch keeps trace buffer empty",
+                  status == 200 and listing["traces"] == [], listing)
+            off_median = median_latency(latency_query)
+        finally:
+            stop_server(server)
+
+        ratio = on_median / off_median if off_median else float("inf")
+        check("obs overhead within ratio", ratio <= OBS_RATIO,
+              f"on={on_median:.6f}s off={off_median:.6f}s "
+              f"ratio={ratio:.2f} limit={OBS_RATIO}")
+
+    print("OK: serve lifecycle + crash recovery + obs kill switch")
     return 0
 
 

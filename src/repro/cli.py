@@ -79,6 +79,8 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--sparqlt", action="append", default=[],
                        metavar="QUERY",
                        help="run a query before reporting (repeatable)")
+    stats.add_argument("--prometheus", action="store_true",
+                       help="render in Prometheus text exposition format")
     stats.add_argument("--json", action="store_true",
                        help="JSON instead of text rendering")
     stats.add_argument("--no-optimizer", action="store_true")
@@ -129,6 +131,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--parallel", action="store_true",
                        help="dispatch pattern scans on a thread pool "
                             "(same as REPRO_PARALLEL=1)")
+    serve.add_argument("--trace-sample", type=float, default=1.0,
+                       metavar="RATE",
+                       help="fraction of POST requests recording a full "
+                            "trace (0..1; default 1.0)")
+    serve.add_argument("--slow-ms", type=float, default=None,
+                       metavar="MS",
+                       help="log the full span tree of requests slower "
+                            "than MS milliseconds (default: off)")
+    serve.add_argument("--trace-buffer", type=int, default=128,
+                       metavar="N",
+                       help="recent traces kept for /debug/traces "
+                            "(default 128)")
+    serve.add_argument("--log-level", default="warning",
+                       choices=("debug", "info", "warning", "error"),
+                       help="structured-log threshold; 'info' turns on "
+                            "per-request access lines (default: warning)")
 
     from .lint import checker as _lint_checker
 
@@ -223,7 +241,12 @@ def cmd_stats(args) -> int:
         except SparqltError as error:
             print(f"error: {error}", file=sys.stderr)
             return 1
-    print(REGISTRY.render_json() if args.json else REGISTRY.render_text())
+    if args.prometheus:
+        print(REGISTRY.render_prometheus(), end="")
+    elif args.json:
+        print(REGISTRY.render_json())
+    else:
+        print(REGISTRY.render_text())
     return 0
 
 
@@ -329,9 +352,11 @@ def cmd_snapshot(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    from .obs import log as _obslog
     from .service.server import serve
     from .service.store import TemporalStore
 
+    _obslog.set_level(args.log_level)
     store = TemporalStore(
         args.directory,
         use_optimizer=not args.no_optimizer,
@@ -359,6 +384,9 @@ def cmd_serve(args) -> int:
             store, host=args.host, port=args.port,
             max_inflight=args.workers,
             request_timeout=args.request_timeout,
+            trace_sample=args.trace_sample,
+            slow_ms=args.slow_ms,
+            trace_capacity=args.trace_buffer,
         )
         print(f"serving {args.directory} on http://{args.host}:"
               f"{service.port} (revision {store.revision}, "

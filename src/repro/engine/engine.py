@@ -17,6 +17,7 @@ from ..model.graph import TemporalGraph
 from ..model.time import MIN_TIME, NOW, PeriodSet, format_chronon
 from ..mvbt.tree import MVBT, MVBTConfig, bulk_load
 from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from ..obs.profile import ProfileNode, QueryProfile
 from ..sparqlt.ast import Query
 from ..sparqlt.parser import parse
@@ -305,19 +306,21 @@ class RDFTX:
         self, query: Query, cache_key: str | None
     ) -> tuple[PlanGraph, list[int]]:
         """Translate and order an already-parsed query, caching by text."""
-        conjuncts = query.filter_conjuncts()
-        patterns = [
-            translate_pattern(p, self.dictionary, conjuncts)
-            for p in query.patterns
-        ]
-        graph = PlanGraph.build(query, patterns)
-        if self.optimizer is not None and len(patterns) > 1:
-            order = self.optimizer.choose_order(graph)
-        else:
-            order = default_order(graph)
-        if cache_key is not None:
-            self._plan_cache.put(cache_key, (graph, order))
-        return graph, order
+        with _trace.span("engine.compile"):
+            conjuncts = query.filter_conjuncts()
+            patterns = [
+                translate_pattern(p, self.dictionary, conjuncts)
+                for p in query.patterns
+            ]
+            graph = PlanGraph.build(query, patterns)
+            if self.optimizer is not None and len(patterns) > 1:
+                with _trace.span("optimizer.choose_order"):
+                    order = self.optimizer.choose_order(graph)
+            else:
+                order = default_order(graph)
+            if cache_key is not None:
+                self._plan_cache.put(cache_key, (graph, order))
+            return graph, order
 
     def query(self, text: str | Query, profile: bool = False) -> QueryResult:
         """Evaluate a SPARQLT query and return its result rows.
@@ -336,6 +339,7 @@ class RDFTX:
             # A plan-cache hit skips the parse too: the compiled graph
             # carries its parsed query.
             plan = self._plan_cache.get(text)
+            _trace.annotate_trace(plan_cache_hit=plan is not None)
             query = plan[0].query if plan is not None else parse(text)
         else:
             query = text
@@ -376,12 +380,13 @@ class RDFTX:
         step_estimates = None
         if want_profile:
             step_estimates = self._annotate_estimates(graph, order)
-        rows = execute(
-            graph, self.indexes, self.dictionary, self.horizon, order,
-            profile=prof_root, step_estimates=step_estimates,
-            parallel=self.parallel,
-        )
-        projected = project(rows, query.select, self.dictionary)
+        with _trace.span("engine.execute", patterns=len(order)):
+            rows = execute(
+                graph, self.indexes, self.dictionary, self.horizon, order,
+                profile=prof_root, step_estimates=step_estimates,
+                parallel=self.parallel,
+            )
+            projected = project(rows, query.select, self.dictionary)
         return self._finish_result(query, projected, prof_root, started)
 
     def _annotate_estimates(

@@ -17,6 +17,7 @@ from typing import Callable
 from ..model.dictionary import Dictionary
 from ..mvbt.tree import MVBT
 from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from ..obs.profile import ProfileNode
 from ..sparqlt.ast import Expr, expr_variables
 from .operators import (
@@ -86,8 +87,10 @@ def _scan_detail(plan) -> str:
 
 def _scan_rows(tree: MVBT, plan) -> list[Row]:
     """Materialize one pattern scan — the unit of pool work in parallel
-    mode."""
-    return list(index_scan(tree, plan))
+    mode.  The span records on the worker thread, parented to the
+    submitting request's trace (see :func:`repro.obs.trace.submit`)."""
+    with _trace.span("scan.pattern", index=plan.index_order):
+        return list(index_scan(tree, plan))
 
 
 def execute(
@@ -119,6 +122,10 @@ def execute(
     if order is None:
         order = default_order(graph)
     profiling = profile is not None
+    # Whether this execution runs inside a live trace: serial scans are
+    # materialized under a span only then, so the default path keeps its
+    # lazy scan->join pipelining.
+    tracing = _trace.active()
     est_map = step_estimates or {}
     joined: set[int] = set()
     current: ProfileNode | None = None
@@ -169,12 +176,13 @@ def execute(
         shared = first.pattern.variables() & second.pattern.variables()
         if synchronized_join_applicable(first, second, shared):
             start = perf() if profiling else 0.0
-            rows = list(
-                synchronized_join_rows(
-                    indexes[first.index_order], first,
-                    indexes[second.index_order], second,
+            with _trace.span("join.sync"):
+                rows = list(
+                    synchronized_join_rows(
+                        indexes[first.index_order], first,
+                        indexes[second.index_order], second,
+                    )
                 )
-            )
             joined = {order[0], order[1]}
             if profiling:
                 current = ProfileNode(
@@ -208,8 +216,8 @@ def execute(
             pool = scan_pool()
             for index in order:
                 plan = graph.patterns[index]
-                prefetched[index] = pool.submit(
-                    _scan_rows, indexes[plan.index_order], plan
+                prefetched[index] = _trace.submit(
+                    pool, _scan_rows, indexes[plan.index_order], plan
                 )
             note_prefetch(len(prefetched))
         else:
@@ -220,19 +228,30 @@ def execute(
         if index in prefetched:
             scanned = prefetched.pop(index).result()
         elif leaf_parallel:
-            scanned = index_scan(
-                tree,
-                plan,
-                pieces=parallel_scan_pieces(
+            # The span wraps the per-leaf fan-out too, so "scan.leaf"
+            # worker spans nest under this pattern's scan span.
+            with _trace.span("scan.pattern", index=plan.index_order):
+                scanned = index_scan(
                     tree,
-                    plan.key_low,
-                    plan.key_high,
-                    plan.time_range.start,
-                    plan.time_range.end,
-                ),
-            )
+                    plan,
+                    pieces=parallel_scan_pieces(
+                        tree,
+                        plan.key_low,
+                        plan.key_high,
+                        plan.time_range.start,
+                        plan.time_range.end,
+                    ),
+                )
+                if tracing:
+                    scanned = list(scanned)
         else:
             scanned = index_scan(tree, plan)
+        if tracing and not isinstance(scanned, list):
+            # Prefetched scans recorded their span on the worker; lazy
+            # serial scans are materialized here so their span covers
+            # the actual scan work rather than a closed generator.
+            with _trace.span("scan.pattern", index=plan.index_order):
+                scanned = list(scanned)
         pattern_vars = plan.pattern.variables()
         scan_node: ProfileNode | None = None
         if profiling:
@@ -255,11 +274,13 @@ def execute(
             shared = bound & pattern_vars
             start = perf() if profiling else 0.0
             if shared:
-                rows = list(hash_join_rows(rows, scanned, shared))
+                with _trace.span("join.hash"):
+                    rows = list(hash_join_rows(rows, scanned, shared))
                 op = "hash join"
                 detail = "on " + ", ".join(f"?{v}" for v in sorted(shared))
             else:
-                rows = list(nested_loop_product(rows, scanned))
+                with _trace.span("join.cross"):
+                    rows = list(nested_loop_product(rows, scanned))
                 op = "cross product"
                 detail = ""
             if profiling:

@@ -35,6 +35,7 @@ from concurrent.futures import ThreadPoolExecutor
 from ..mvbt.scan import publish_scan_counters, query_leaves, scan_leaf_pieces
 from ..mvbt.tree import MVBT
 from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 
 __all__ = [
     "parallel_default",
@@ -104,6 +105,12 @@ def note_prefetch(count: int = 1) -> None:
         _PREFETCHES.inc(count)
 
 
+def _traced_leaf_scan(leaf, key_low, key_high, t1: int, t2: int) -> list:
+    """One per-leaf scan task, recorded as a child span of the request."""
+    with _trace.span("scan.leaf", uid=leaf.uid):
+        return scan_leaf_pieces(leaf, key_low, key_high, t1, t2)
+
+
 def parallel_scan_pieces(
     tree: MVBT, key_low, key_high, t1: int, t2: int
 ) -> list:
@@ -120,10 +127,20 @@ def parallel_scan_pieces(
             scan_leaf_pieces(leaf, key_low, key_high, t1, t2, out)
     else:
         pool = scan_pool()
-        futures = [
-            pool.submit(scan_leaf_pieces, leaf, key_low, key_high, t1, t2)
-            for leaf in leaves
-        ]
+        if _trace.active():
+            # Carry the request's trace context onto the pool so each
+            # per-leaf task records a child span under the right parent.
+            futures = [
+                _trace.submit(pool, _traced_leaf_scan, leaf, key_low,
+                              key_high, t1, t2)
+                for leaf in leaves
+            ]
+        else:
+            futures = [
+                pool.submit(scan_leaf_pieces, leaf, key_low, key_high,
+                            t1, t2)
+                for leaf in leaves
+            ]
         for future in futures:
             out.extend(future.result())
         if _metrics.ENABLED:

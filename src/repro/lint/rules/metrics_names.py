@@ -24,6 +24,7 @@ REGISTRY_NAMES = frozenset({"_metrics", "metrics", "REGISTRY"})
 KIND_SETS = {
     "counter": "COUNTERS",
     "gauge": "GAUGES",
+    "histogram": "HISTOGRAMS",
     "timer": "TIMERS",
     "timer_stat": "TIMERS",
 }

@@ -1,0 +1,78 @@
+"""Span-lifecycle rule (RL011).
+
+Spans must be opened through the context-manager API
+(``with trace.span(...):`` / ``with trace.start_trace(...):``) so the
+begin/end pair is one lexical scope: an exception can never leave a span
+dangling open, mis-timing every ancestor in the trace tree.  Manually
+constructing a :class:`~repro.obs.trace.Span` or driving one with
+``.start()`` / ``.finish()`` calls reintroduces exactly that leak.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from .base import Finding, Rule, dotted_name, path_matches
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..checker import ModuleInfo
+
+#: Methods that would drive a span's lifecycle by hand.
+MANUAL_LIFECYCLE = frozenset({"start", "finish"})
+
+#: Functions whose return value is a span context manager.
+SPAN_FACTORIES = frozenset({"span", "start_trace"})
+
+#: The tracer implementation itself manages span internals.
+EXEMPT_PATHS = ("obs/trace.py",)
+
+
+def _is_span_receiver(node: ast.AST) -> bool:
+    """Whether ``node`` plausibly evaluates to a span object.
+
+    Two shapes: a name that says so (``span``, ``root_span``, ``my_span``
+    — chosen over type inference to keep ``thread.start()`` and
+    ``parser.finish()`` out of scope), or a direct call to a span
+    factory (``trace.span(...).start()``).
+    """
+    dotted = dotted_name(node)
+    if dotted is not None:
+        return "span" in dotted.rsplit(".", 1)[-1].lower()
+    if isinstance(node, ast.Call):
+        factory = dotted_name(node.func)
+        if factory is not None:
+            return factory.rsplit(".", 1)[-1] in SPAN_FACTORIES
+    return False
+
+
+class ManualSpanLifecycle(Rule):
+    """RL011: spans are opened with ``with``, never start()/finish()."""
+
+    id = "RL011"
+    title = "span driven manually instead of via the context manager"
+    rationale = (
+        "A span closed by hand leaks open on any exception path between "
+        "start() and finish(), freezing its duration into every parent "
+        "in the trace tree; `with trace.span(...)` makes the pairing a "
+        "lexical scope the interpreter enforces."
+    )
+
+    def check(self, module: "ModuleInfo") -> Iterator[Finding]:
+        if path_matches(module.logical_path, EXEMPT_PATHS):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in MANUAL_LIFECYCLE:
+                continue
+            if _is_span_receiver(func.value):
+                yield self.finding(
+                    module, node,
+                    f"span lifecycle driven manually via `.{func.attr}()` "
+                    f"— open spans with `with trace.span(...):` so they "
+                    f"cannot leak on exception paths",
+                )

@@ -6,38 +6,50 @@ environment variable ``REPRO_OBS=0`` turns every probe into a no-op.
 """
 
 from .catalog import ALL_METRICS, is_registered, is_well_formed
+from .log import LOGGER, Logger
 from .metrics import (
     ENABLED,
     REGISTRY,
     Counter,
     Gauge,
+    Histogram,
     Registry,
     Timer,
     TimerStat,
     counter,
     enabled,
     gauge,
+    histogram,
     set_enabled,
     timer,
 )
 from .profile import ProfileNode, QueryProfile
+from .trace import Sampler, Span, Trace, TraceBuffer
 
 __all__ = [
     "ALL_METRICS",
     "is_registered",
     "is_well_formed",
     "ENABLED",
+    "LOGGER",
+    "Logger",
     "REGISTRY",
     "Counter",
     "Gauge",
+    "Histogram",
     "ProfileNode",
     "QueryProfile",
     "Registry",
+    "Sampler",
+    "Span",
     "Timer",
     "TimerStat",
+    "Trace",
+    "TraceBuffer",
     "counter",
     "enabled",
     "gauge",
+    "histogram",
     "set_enabled",
     "timer",
 ]

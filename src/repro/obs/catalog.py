@@ -1,6 +1,6 @@
 """The catalog of sanctioned metric names.
 
-Every counter / gauge / timer registered anywhere in the tree must be
+Every counter / gauge / timer / histogram registered anywhere in the tree must be
 declared here first.  The point is hygiene at scale: the global registry
 (:mod:`repro.obs.metrics`) will happily mint a metric for any string, so a
 typo at one call site silently forks a counter ("service.store.querys")
@@ -80,8 +80,16 @@ TIMERS = frozenset({
     "service.snapshot.save",   # snapshot save wall time
 })
 
+#: Every fixed-bucket latency-histogram name the tree is allowed to register.
+HISTOGRAMS = frozenset({
+    "service.server.request_ms",   # HTTP request wall time (per request)
+    "service.store.query_ms",      # store-level query latency
+    "service.store.update_ms",     # store-level durable-update latency
+    "service.wal.sync_ms",         # WAL group-commit fsync latency
+})
+
 #: Union of all sanctioned names, any kind.
-ALL_METRICS = COUNTERS | GAUGES | TIMERS
+ALL_METRICS = COUNTERS | GAUGES | TIMERS | HISTOGRAMS
 
 
 def is_registered(name: str) -> bool:

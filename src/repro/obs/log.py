@@ -1,0 +1,107 @@
+"""Structured JSON logging for the serving layer.
+
+One event per line, JSON-encoded, written to a configurable stream
+(stderr by default).  The serving layer's access log and slow-query log
+both go through here, so every line carries the same envelope —
+``ts``, ``level``, ``event`` — plus event-specific fields such as
+``trace_id``, ``status``, ``cache_hit`` and ``duration_ms``.
+
+Quiet by default: the level starts at ``warning`` so test suites and
+benchmarks that spin up servers stay silent; ``repro-tx serve
+--log-level info`` turns access logs on.  ``REPRO_OBS=0`` silences
+everything regardless of level.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Any, TextIO
+
+from . import metrics as _metrics
+
+__all__ = ["LEVELS", "Logger", "LOGGER", "log", "set_level", "set_stream"]
+
+#: Severity order; events below the configured level are dropped.
+LEVELS = ("debug", "info", "warning", "error")
+
+_LEVEL_RANK = {name: rank for rank, name in enumerate(LEVELS)}
+
+
+class Logger:
+    """Thread-safe line-oriented JSON logger."""
+
+    def __init__(self, stream: TextIO | None = None,
+                 level: str = "warning") -> None:
+        self._stream = stream
+        self._lock = threading.Lock()
+        self._rank = self._rank_of(level)
+
+    @staticmethod
+    def _rank_of(level: str) -> int:
+        try:
+            return _LEVEL_RANK[level]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {level!r}; want one of {LEVELS}"
+            ) from None
+
+    def set_level(self, level: str) -> None:
+        self._rank = self._rank_of(level)
+
+    def set_stream(self, stream: TextIO | None) -> None:
+        """Redirect output; ``None`` means the live ``sys.stderr``."""
+        with self._lock:
+            self._stream = stream
+
+    def enabled_for(self, level: str) -> bool:
+        return _metrics.ENABLED and self._rank_of(level) >= self._rank
+
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        """Emit one structured line if ``level`` passes the filter."""
+        if not self.enabled_for(level):
+            return
+        record: dict[str, Any] = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "event": event,
+        }
+        record.update(fields)
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            stream = self._stream if self._stream is not None else sys.stderr
+            stream.write(line + "\n")
+            stream.flush()
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log("error", event, **fields)
+
+
+#: The process-global logger the serving layer writes to.
+LOGGER = Logger()
+
+
+def log(level: str, event: str, **fields: Any) -> None:
+    """``LOGGER.log`` shorthand."""
+    LOGGER.log(level, event, **fields)
+
+
+def set_level(level: str) -> None:
+    """``LOGGER.set_level`` shorthand."""
+    LOGGER.set_level(level)
+
+
+def set_stream(stream: TextIO | None) -> None:
+    """``LOGGER.set_stream`` shorthand."""
+    LOGGER.set_stream(stream)

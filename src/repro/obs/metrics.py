@@ -1,10 +1,16 @@
-"""Process-wide metrics registry: counters, gauges, histogram timers.
+"""Process-wide metrics registry: counters, gauges, timers, histograms.
 
 Zero-dependency observability for the engine's hot paths.  Metrics are
 named, thread-safe, and live in a process-global :data:`REGISTRY` by
 default; :meth:`Registry.snapshot` / :meth:`Registry.reset` and the
-text/JSON renderers back the ``repro-tx stats`` subcommand and the
-benchmark harness's profile artifacts.
+text/JSON/Prometheus renderers back the ``repro-tx stats`` subcommand,
+the ``/metrics`` endpoint, and the benchmark harness's profile
+artifacts.
+
+:class:`Histogram` records latencies into fixed log-spaced buckets so
+p50/p95/p99 are derivable from the bucket counts alone (no per-sample
+storage) and standard Prometheus scrapers can consume the cumulative
+``_bucket``/``_sum``/``_count`` rendering.
 
 Kill switch: setting the environment variable ``REPRO_OBS=0`` (before
 import) disables all instrumentation — counter increments, timer
@@ -17,6 +23,7 @@ runtime with :func:`set_enabled`.
 
 from __future__ import annotations
 
+import bisect
 import json
 import os
 import threading
@@ -142,6 +149,118 @@ class TimerStat:
         }
 
 
+#: Default latency bucket upper bounds in **milliseconds** — a 1-2-5
+#: log-spaced ladder from 50µs to 10s.  Observations above the last bound
+#: land in the implicit +Inf overflow bucket.
+DEFAULT_BUCKETS_MS: tuple[float, ...] = (
+    0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0,
+    100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0,
+)
+
+
+class Histogram:
+    """Fixed-bucket latency histogram (milliseconds).
+
+    Cumulative-on-read: each observation increments exactly one bucket
+    counter, quantiles are interpolated from the bucket boundaries when
+    asked.  With log-spaced buckets the interpolation error is bounded by
+    the bucket ratio (2-2.5x here), which is what fleet-wide p95/p99
+    dashboards tolerate by convention.
+    """
+
+    __slots__ = ("name", "bounds", "_counts", "_overflow", "_sum",
+                 "_count", "_lock")
+
+    def __init__(self, name: str,
+                 bounds: tuple[float, ...] = DEFAULT_BUCKETS_MS) -> None:
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self._counts = [0] * len(self.bounds)
+        self._overflow = 0
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value_ms: float) -> None:
+        """Record one observation (milliseconds)."""
+        if not ENABLED:
+            return
+        index = bisect.bisect_left(self.bounds, value_ms)
+        with self._lock:
+            if index < len(self.bounds):
+                self._counts[index] += 1
+            else:
+                self._overflow += 1
+            self._sum += value_ms
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum_ms(self) -> float:
+        return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Interpolated quantile in milliseconds (0 <= q <= 1).
+
+        Walks the cumulative bucket counts to the target rank and
+        interpolates linearly inside the containing bucket; ranks landing
+        in the overflow bucket report the largest finite bound (the
+        histogram cannot resolve beyond it).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q!r} outside [0, 1]")
+        with self._lock:
+            total = self._count
+            counts = list(self._counts)
+        if total == 0:
+            return 0.0
+        rank = q * total
+        cumulative = 0
+        lower = 0.0
+        for bound, bucket in zip(self.bounds, counts):
+            if cumulative + bucket >= rank:
+                if bucket == 0:
+                    return bound
+                fraction = (rank - cumulative) / bucket
+                return lower + (bound - lower) * fraction
+            cumulative += bucket
+            lower = bound
+        return self.bounds[-1]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * len(self.bounds)
+            self._overflow = 0
+            self._sum = 0.0
+            self._count = 0
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            counts = list(self._counts)
+            overflow = self._overflow
+            total = self._count
+            sum_ms = self._sum
+        cumulative = 0
+        buckets = []
+        for bound, bucket in zip(self.bounds, counts):
+            cumulative += bucket
+            buckets.append([bound, cumulative])
+        return {
+            "count": total,
+            "sum_ms": sum_ms,
+            "overflow": overflow,
+            "p50_ms": self.quantile(0.50),
+            "p95_ms": self.quantile(0.95),
+            "p99_ms": self.quantile(0.99),
+            "buckets": buckets,
+        }
+
+
 class Timer:
     """Context manager / decorator feeding a :class:`TimerStat`.
 
@@ -195,6 +314,7 @@ class Registry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._timers: dict[str, TimerStat] = {}
+        self._histograms: dict[str, Histogram] = {}
 
     # ------------------------------------------------------------- factories
 
@@ -222,6 +342,17 @@ class Registry:
     def timer(self, name: str) -> Timer:
         return Timer(self.timer_stat(name))
 
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS_MS
+    ) -> Histogram:
+        found = self._histograms.get(name)
+        if found is None:
+            with self._lock:
+                found = self._histograms.setdefault(
+                    name, Histogram(name, bounds)
+                )
+        return found
+
     # ------------------------------------------------------------ inspection
 
     def counter_values(self, names: Iterable[str]) -> dict[str, int]:
@@ -242,6 +373,10 @@ class Registry:
                     name: t.as_dict()
                     for name, t in sorted(self._timers.items())
                 },
+                "histograms": {
+                    name: h.as_dict()
+                    for name, h in sorted(self._histograms.items())
+                },
             }
 
     def reset(self) -> None:
@@ -252,6 +387,7 @@ class Registry:
                 list(self._counters.values())
                 + list(self._gauges.values())
                 + list(self._timers.values())
+                + list(self._histograms.values())
             )
         for metric in metrics:
             metric.reset()
@@ -282,10 +418,67 @@ class Registry:
                     f" mean={stat['mean_ms']:.3f}ms"
                     f" max={stat['max_ms']:.3f}ms"
                 )
+        if snap["histograms"]:
+            lines.append("histograms:")
+            width = max(len(n) for n in snap["histograms"])
+            for name, hist in snap["histograms"].items():
+                lines.append(
+                    f"  {name.ljust(width)}  count={hist['count']}"
+                    f" p50={hist['p50_ms']:.3f}ms"
+                    f" p95={hist['p95_ms']:.3f}ms"
+                    f" p99={hist['p99_ms']:.3f}ms"
+                )
         return "\n".join(lines) if lines else "(no metrics recorded)"
 
     def render_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition (version 0.0.4) of the registry.
+
+        Names are prefixed ``repro_`` with dots mapped to underscores;
+        counters gain the conventional ``_total`` suffix, timer stats
+        render as ``_count``/``_sum_ms``, histograms as classic
+        cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``.
+        """
+        lines: list[str] = []
+
+        def prom(name: str) -> str:
+            return "repro_" + name.replace(".", "_")
+
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            timers = sorted(self._timers.items())
+            histograms = sorted(self._histograms.items())
+        for name, counter_ in counters:
+            base = prom(name)
+            lines.append(f"# TYPE {base}_total counter")
+            lines.append(f"{base}_total {counter_.value}")
+        for name, gauge_ in gauges:
+            base = prom(name)
+            lines.append(f"# TYPE {base} gauge")
+            lines.append(f"{base} {gauge_.value:g}")
+        for name, stat in timers:
+            base = prom(name)
+            lines.append(f"# TYPE {base}_seconds summary")
+            lines.append(f"{base}_seconds_count {stat.count}")
+            lines.append(f"{base}_seconds_sum {stat.total:.9g}")
+        for name, hist in histograms:
+            base = prom(name)
+            data = hist.as_dict()
+            lines.append(f"# TYPE {base} histogram")
+            cumulative = 0
+            for bound, cum in data["buckets"]:
+                cumulative = cum
+                lines.append(f'{base}_bucket{{le="{bound:g}"}} {cum}')
+            lines.append(
+                f'{base}_bucket{{le="+Inf"}} '
+                f'{cumulative + data["overflow"]}'
+            )
+            lines.append(f"{base}_sum {data['sum_ms']:.9g}")
+            lines.append(f"{base}_count {data['count']}")
+        return "\n".join(lines) + "\n"
 
 
 #: The process-global default registry every subsystem reports into.
@@ -305,3 +498,8 @@ def gauge(name: str) -> Gauge:
 def timer(name: str) -> Timer:
     """``REGISTRY.timer`` shorthand."""
     return REGISTRY.timer(name)
+
+
+def histogram(name: str) -> Histogram:
+    """``REGISTRY.histogram`` shorthand."""
+    return REGISTRY.histogram(name)

@@ -1,0 +1,337 @@
+"""Zero-dependency span tracer with ``contextvars`` propagation.
+
+A request entering the serving layer opens a *root span* via
+:func:`start_trace`; every layer it flows through — admission control,
+lock acquisition, cache lookup, compilation, index scans, joins, WAL
+group commit — opens *child spans* via :func:`span`.  The active span
+travels in a :class:`contextvars.ContextVar`, so nesting is implicit and
+work handed to a thread pool keeps its parentage when submitted through
+:func:`submit` (which copies the caller's context onto the worker).
+
+Design points:
+
+* **Context-manager only.** Spans are opened with ``with span(...):``;
+  the begin/end pair is a single lexical scope, so a span can never leak
+  open on an exception path.  Lint rule RL011 enforces this at review
+  time.
+* **Near-zero cost when off.** When observability is disabled
+  (``REPRO_OBS=0`` / :func:`repro.obs.metrics.set_enabled`), when the
+  sampler skips a request, or when code runs outside any trace,
+  :func:`span` returns a shared no-op context manager: no allocation, no
+  clock reads.
+* **Deterministic ids and sampling.** Trace ids come from a process
+  counter (``<pid hex>-<seq hex>``), and :class:`Sampler` uses a
+  fraction accumulator rather than a PRNG, so tests can assert exact
+  keep/skip sequences.
+* **Bounded retention.** Finished traces land in a fixed-size
+  :class:`TraceBuffer` ring; the server exposes it at
+  ``GET /debug/traces``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar, copy_context
+from typing import TYPE_CHECKING, Any, Iterator
+
+from . import metrics as _metrics
+
+if TYPE_CHECKING:  # pragma: no cover
+    from concurrent.futures import Executor, Future
+
+__all__ = [
+    "Span",
+    "Trace",
+    "TraceBuffer",
+    "Sampler",
+    "start_trace",
+    "span",
+    "active",
+    "current_trace_id",
+    "annotate",
+    "annotate_trace",
+    "submit",
+]
+
+#: Monotonic per-process sequence feeding trace ids.
+_TRACE_SEQ = itertools.count(1)
+
+#: The span the current logical context is inside (None outside traces).
+_CURRENT_SPAN: ContextVar["Span | None"] = ContextVar(
+    "repro_current_span", default=None
+)
+
+
+def _new_trace_id() -> str:
+    return f"{os.getpid():x}-{next(_TRACE_SEQ):08x}"
+
+
+class Span:
+    """One timed operation in a trace tree.
+
+    Spans are created internally by :func:`start_trace` / :func:`span`;
+    user code never instantiates or starts/finishes one directly (RL011).
+    """
+
+    __slots__ = ("name", "trace", "parent", "children", "attrs",
+                 "start_ms", "end_ms", "_t0")
+
+    def __init__(self, name: str, trace: "Trace",
+                 parent: "Span | None") -> None:
+        self.name = name
+        self.trace = trace
+        self.parent = parent
+        self.children: list[Span] = []
+        self.attrs: dict[str, Any] = {}
+        self.start_ms = (time.time() - trace.epoch) * 1000.0
+        self.end_ms: float | None = None
+        self._t0 = time.perf_counter()
+        if parent is not None:
+            with trace.lock:
+                parent.children.append(self)
+
+    @property
+    def duration_ms(self) -> float:
+        if self.end_ms is None:
+            return 0.0
+        return self.end_ms - self.start_ms
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach key/value attributes to this span."""
+        self.attrs.update(attrs)
+
+    def _close(self) -> None:
+        self.end_ms = self.start_ms + (
+            time.perf_counter() - self._t0
+        ) * 1000.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "start_ms": round(self.start_ms, 3),
+            "duration_ms": round(self.duration_ms, 3),
+            "attrs": dict(self.attrs),
+            "children": [c.as_dict() for c in self.children],
+        }
+
+
+class Trace:
+    """A tree of spans plus trace-level attributes for one request."""
+
+    __slots__ = ("trace_id", "name", "root", "attrs", "epoch", "lock",
+                 "started_at")
+
+    def __init__(self, name: str) -> None:
+        self.trace_id = _new_trace_id()
+        self.name = name
+        self.attrs: dict[str, Any] = {}
+        self.epoch = time.time()
+        self.started_at = self.epoch
+        self.lock = threading.Lock()
+        self.root = Span(name, self, None)
+
+    @property
+    def duration_ms(self) -> float:
+        return self.root.duration_ms
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "started_at": self.started_at,
+            "duration_ms": round(self.duration_ms, 3),
+            "attrs": dict(self.attrs),
+            "root": self.root.as_dict(),
+        }
+
+    def span_names(self) -> list[str]:
+        """Flat list of every span name in the tree (test helper)."""
+        names: list[str] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            names.append(node.name)
+            stack.extend(node.children)
+        return names
+
+
+class TraceBuffer:
+    """Fixed-size ring of recently finished traces."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._items: list[Trace] = []
+
+    def add(self, trace: Trace) -> None:
+        with self._lock:
+            self._items.append(trace)
+            if len(self._items) > self.capacity:
+                del self._items[: len(self._items) - self.capacity]
+
+    def recent(self, limit: int = 20) -> list[Trace]:
+        """Most recent traces, newest first."""
+        with self._lock:
+            return list(reversed(self._items[-limit:]))
+
+    def get(self, trace_id: str) -> Trace | None:
+        with self._lock:
+            for item in reversed(self._items):
+                if item.trace_id == trace_id:
+                    return item
+        return None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+
+class Sampler:
+    """Deterministic fraction sampler (no PRNG).
+
+    Keeps requests whenever the running accumulator crosses 1.0, so a
+    rate of ``0.25`` keeps exactly every 4th request and a rate of
+    ``1.0`` keeps everything.  Deterministic sampling is reproducible in
+    tests and spreads kept traces evenly instead of in random clumps.
+    """
+
+    def __init__(self, rate: float = 1.0) -> None:
+        if not (0.0 <= rate <= 1.0):
+            raise ValueError("sample rate must be within [0, 1]")
+        self.rate = rate
+        self._acc = 0.0
+        self._lock = threading.Lock()
+
+    def keep(self) -> bool:
+        if self.rate >= 1.0:
+            return True
+        if self.rate <= 0.0:
+            return False
+        with self._lock:
+            self._acc += self.rate
+            if self._acc >= 1.0:
+                self._acc -= 1.0
+                return True
+            return False
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for untraced code paths."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def annotate(self, **attrs: Any) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+@contextmanager
+def _trace_cm(trace: Trace, buffer: TraceBuffer | None) -> Iterator[Trace]:
+    token = _CURRENT_SPAN.set(trace.root)
+    try:
+        yield trace
+    finally:
+        _CURRENT_SPAN.reset(token)
+        trace.root._close()
+        if buffer is not None:
+            buffer.add(trace)
+
+
+@contextmanager
+def _span_cm(parent: Span, name: str,
+             attrs: dict[str, Any]) -> Iterator[Span]:
+    child = Span(name, parent.trace, parent)
+    if attrs:
+        child.attrs.update(attrs)
+    token = _CURRENT_SPAN.set(child)
+    try:
+        yield child
+    finally:
+        _CURRENT_SPAN.reset(token)
+        child._close()
+
+
+def start_trace(name: str, buffer: TraceBuffer | None = None,
+                **attrs: Any):
+    """Open a root span and install it as the current context.
+
+    Returns a context manager yielding the :class:`Trace`; on exit the
+    root span closes and the trace is appended to ``buffer`` (if given).
+    When observability is disabled this is a no-op context manager and
+    nothing is recorded.
+    """
+    if not _metrics.ENABLED:
+        return _NOOP
+    trace = Trace(name)
+    if attrs:
+        trace.attrs.update(attrs)
+    return _trace_cm(trace, buffer)
+
+
+def span(name: str, **attrs: Any):
+    """Open a child span under the current context, if any.
+
+    Outside a trace (or with observability disabled) this returns a
+    shared no-op context manager, so instrumentation sites can call it
+    unconditionally on hot paths.
+    """
+    if not _metrics.ENABLED:
+        return _NOOP
+    parent = _CURRENT_SPAN.get()
+    if parent is None:
+        return _NOOP
+    return _span_cm(parent, name, attrs)
+
+
+def active() -> bool:
+    """Whether the calling context is inside a live trace."""
+    return _metrics.ENABLED and _CURRENT_SPAN.get() is not None
+
+
+def current_trace_id() -> str | None:
+    """Trace id of the enclosing trace, or None outside any trace."""
+    current = _CURRENT_SPAN.get()
+    return None if current is None else current.trace.trace_id
+
+
+def annotate(**attrs: Any) -> None:
+    """Attach attributes to the *current span* (no-op outside traces)."""
+    current = _CURRENT_SPAN.get()
+    if current is not None and _metrics.ENABLED:
+        current.attrs.update(attrs)
+
+
+def annotate_trace(**attrs: Any) -> None:
+    """Attach trace-level attributes (e.g. ``cache_hit=True``)."""
+    current = _CURRENT_SPAN.get()
+    if current is not None and _metrics.ENABLED:
+        current.trace.attrs.update(attrs)
+
+
+def submit(pool: "Executor", fn: Any, /, *args: Any,
+           **kwargs: Any) -> "Future[Any]":
+    """``pool.submit`` that carries the caller's trace context along.
+
+    Workers see the submitting context's current span as their parent,
+    so spans they open nest correctly under the request that scheduled
+    the work.  Outside a trace this degrades to a plain ``submit`` with
+    no context copy.
+    """
+    if not active():
+        return pool.submit(fn, *args, **kwargs)
+    ctx = copy_context()
+    return pool.submit(ctx.run, fn, *args, **kwargs)

@@ -26,6 +26,7 @@ from __future__ import annotations
 from ..cache import LRUCache
 from ..engine.engine import QueryResult
 from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 
 __all__ = ["QueryCache", "normalize_query"]
 
@@ -87,9 +88,11 @@ class QueryCache:
             or entry[0] != self._generation
             or entry[1].revision != revision
         ):
+            _trace.annotate(hit=False, revision=revision)
             if _metrics.ENABLED:
                 _MISSES.inc()
             return None
+        _trace.annotate(hit=True, revision=revision)
         if _metrics.ENABLED:
             _HITS.inc()
         return _snapshot(entry[1], revision)

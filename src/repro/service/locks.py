@@ -15,6 +15,8 @@ import contextlib
 import threading
 from typing import Callable, Iterator, TypeVar
 
+from ..obs import trace as _trace
+
 _F = TypeVar("_F", bound=Callable)
 
 
@@ -75,7 +77,10 @@ class ReadWriteLock:
 
     @contextlib.contextmanager
     def read_locked(self) -> Iterator[None]:
-        self.acquire_read()
+        # The span covers only the wait, not the critical section — the
+        # interesting signal is how long a reader queued behind writers.
+        with _trace.span("lock.read.wait"):
+            self.acquire_read()
         try:
             yield
         finally:
@@ -83,7 +88,8 @@ class ReadWriteLock:
 
     @contextlib.contextmanager
     def write_locked(self) -> Iterator[None]:
-        self.acquire_write()
+        with _trace.span("lock.write.wait"):
+            self.acquire_write()
         try:
             yield
         finally:

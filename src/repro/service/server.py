@@ -12,11 +12,20 @@ thread per connection, with admission control layered on top —
 Endpoints::
 
     GET  /healthz       liveness + store revision / live fact count
-    GET  /metrics       the obs registry (JSON; ?format=text for humans)
+    GET  /metrics       the obs registry (JSON; ?format=text for humans,
+                        Prometheus text when Accept: text/plain)
+    GET  /debug/traces  recent request traces (?id=<trace_id> for the
+                        full span tree, ?limit=N for the listing)
     POST /query         {"query": "...", "profile": false} -> rows
     POST /update        {"op": "insert"|"delete", "subject": ..., ...}
                         or {"updates": [...]} for a batch
     POST /checkpoint    snapshot + WAL truncation
+
+Every sampled POST carries a ``trace_id`` in its response; the matching
+span tree (admission wait, lock waits, cache lookup, compile, scans,
+joins, WAL commit) is retrievable from ``/debug/traces`` while it stays
+in the ring buffer.  Requests slower than ``--slow-ms`` additionally log
+their full span tree through the structured logger.
 
 Temporal bindings serialize as ``[[start, end|null], ...]`` — ``null``
 marks a still-live period (the paper's *NOW*).
@@ -37,7 +46,9 @@ from urllib.parse import urlparse, parse_qs
 
 from ..model.time import NOW, PeriodSet, TimeError, date_to_chronon
 from ..mvbt.tree import DuplicateKeyError, TimeOrderError
+from ..obs import log as _obslog
 from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from ..sparqlt.errors import SparqltError
 from .store import StoreError, TemporalStore
 
@@ -46,6 +57,7 @@ _REJECTED = _metrics.counter("service.server.rejected")
 _TIMEOUTS = _metrics.counter("service.server.timeouts")
 _ERRORS = _metrics.counter("service.server.errors")
 _REQUEST_TIMER = _metrics.REGISTRY.timer_stat("service.server.request")
+_REQUEST_HIST = _metrics.histogram("service.server.request_ms")
 
 _LOG = logging.getLogger("repro.service.server")
 
@@ -93,6 +105,9 @@ class TemporalService(ThreadingHTTPServer):
         max_inflight: int = 8,
         request_timeout: float | None = 30.0,
         admission_timeout: float = 0.05,
+        trace_sample: float = 1.0,
+        slow_ms: float | None = None,
+        trace_capacity: int = 128,
     ) -> None:
         super().__init__(address, _Handler)
         self.store = store
@@ -100,6 +115,12 @@ class TemporalService(ThreadingHTTPServer):
         self.request_timeout = request_timeout
         #: how long a request waits for an admission slot before 503.
         self.admission_timeout = admission_timeout
+        #: fraction of POST requests that record a full trace.
+        self.sampler = _trace.Sampler(trace_sample)
+        #: requests slower than this (ms) log their span tree; None = off.
+        self.slow_ms = slow_ms
+        #: ring of recently finished traces, served at /debug/traces.
+        self.traces = _trace.TraceBuffer(trace_capacity)
         self._slots = threading.BoundedSemaphore(max_inflight)
         self._pool = ThreadPoolExecutor(
             max_workers=max_inflight, thread_name_prefix="repro-serve"
@@ -112,7 +133,9 @@ class TemporalService(ThreadingHTTPServer):
     @contextlib.contextmanager
     def admitted(self):
         """Acquire an in-flight slot or raise :class:`ServiceUnavailable`."""
-        if not self._slots.acquire(timeout=self.admission_timeout):
+        with _trace.span("admission.wait"):
+            admitted = self._slots.acquire(timeout=self.admission_timeout)
+        if not admitted:
             raise ServiceUnavailable
         try:
             yield
@@ -120,8 +143,12 @@ class TemporalService(ThreadingHTTPServer):
             self._slots.release()
 
     def run_with_deadline(self, fn):
-        """Run ``fn`` on the pool, bounded by ``request_timeout``."""
-        future = self._pool.submit(fn)
+        """Run ``fn`` on the pool, bounded by ``request_timeout``.
+
+        The submission carries the caller's trace context, so spans the
+        worker opens nest under this request's root span.
+        """
+        future = _trace.submit(self._pool, fn)
         try:
             return future.result(timeout=self.request_timeout)
         except FutureTimeoutError:
@@ -142,7 +169,10 @@ class _Handler(BaseHTTPRequestHandler):
     # --------------------------------------------------------------- plumbing
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        pass  # request logging would drown test output; metrics cover it.
+        # http.server's ad-hoc lines (connection resets, malformed
+        # requests) go through the structured logger at debug level, so
+        # they are recoverable with --log-level debug instead of lost.
+        _obslog.LOGGER.debug("http_server", message=format % args)
 
     def _send_json(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode("utf-8")
@@ -173,6 +203,9 @@ class _Handler(BaseHTTPRequestHandler):
         parsed = urlparse(self.path)
         if _metrics.ENABLED:
             _REQUESTS.inc()
+        # GETs serve monitoring endpoints; debug level keeps scrape
+        # polling out of the default access log.
+        _obslog.LOGGER.debug("http_access", method="GET", path=parsed.path)
         if parsed.path == "/healthz":
             store = self.server.store
             self._send_json(200, {
@@ -182,18 +215,55 @@ class _Handler(BaseHTTPRequestHandler):
                 "cached_results": store.cached_results,
             })
         elif parsed.path == "/metrics":
-            wants_text = parse_qs(parsed.query).get("format") == ["text"]
-            if wants_text:
-                body = _metrics.REGISTRY.render_text().encode("utf-8")
-                self.send_response(200)
-                self.send_header("Content-Type", "text/plain; charset=utf-8")
-                self.send_header("Content-Length", str(len(body)))
-                self.end_headers()
-                self.wfile.write(body)
+            query = parse_qs(parsed.query)
+            accept = self.headers.get("Accept", "")
+            if query.get("format") == ["text"]:
+                self._send_text(_metrics.REGISTRY.render_text())
+            elif (query.get("format") == ["prometheus"]
+                  or "text/plain" in accept):
+                # Standard scrapers send Accept: text/plain...; JSON
+                # stays the default for everything else.
+                self._send_text(_metrics.REGISTRY.render_prometheus())
             else:
                 self._send_json(200, _metrics.REGISTRY.snapshot())
+        elif parsed.path == "/debug/traces":
+            self._handle_traces(parse_qs(parsed.query))
         else:
             self._send_error(404, f"no such endpoint: {parsed.path}")
+
+    def _send_text(self, body_text: str) -> None:
+        body = body_text.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _handle_traces(self, query: dict) -> None:
+        trace_id = query.get("id", [None])[0]
+        if trace_id is not None:
+            found = self.server.traces.get(trace_id)
+            if found is None:
+                self._send_error(404, f"no such trace: {trace_id}")
+            else:
+                self._send_json(200, found.as_dict())
+            return
+        try:
+            limit = int(query.get("limit", ["20"])[0])
+        except ValueError:
+            self._send_error(400, "bad 'limit' value")
+            return
+        listing = [
+            {
+                "trace_id": t.trace_id,
+                "name": t.name,
+                "started_at": t.started_at,
+                "duration_ms": round(t.duration_ms, 3),
+                "attrs": dict(t.attrs),
+            }
+            for t in self.server.traces.recent(limit)
+        ]
+        self._send_json(200, {"traces": listing})
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         import time as _time
@@ -215,29 +285,47 @@ class _Handler(BaseHTTPRequestHandler):
         except (ValueError, json.JSONDecodeError) as error:
             self._send_error(400, f"bad request body: {error}")
             return
+        if _metrics.ENABLED and self.server.sampler.keep():
+            trace_cm = _trace.start_trace(
+                f"POST {path}", self.server.traces, path=path
+            )
+        else:
+            trace_cm = contextlib.nullcontext()
+        trace = None
+        status = 200
         try:
-            with self.server.admitted():
-                result = self.server.run_with_deadline(
-                    lambda: handler(payload)
-                )
+            with trace_cm as opened:
+                if isinstance(opened, _trace.Trace):
+                    trace = opened
+                with self.server.admitted():
+                    result = self.server.run_with_deadline(
+                        lambda: handler(payload)
+                    )
+                if trace is not None:
+                    result["trace_id"] = trace.trace_id
             self._send_json(200, result)
         except ServiceUnavailable:
+            status = 503
             if _metrics.ENABLED:
                 _REJECTED.inc()
             self._send_error(503, "server saturated, retry later")
         except FutureTimeoutError:
+            status = 504
             if _metrics.ENABLED:
                 _TIMEOUTS.inc()
             self._send_error(504, "request deadline exceeded")
         except (SparqltError, ValueError, TimeError) as error:
+            status = 400
             self._send_error(400, str(error))
         except (DuplicateKeyError, TimeOrderError, KeyError,
                 StoreError) as error:
+            status = 409
             self._send_error(409, str(error))
         except Exception:
             # Defensive boundary: never kill the connection thread, but
             # never swallow the traceback either — log it under an error
             # id the client can quote back.
+            status = 500
             error_id = f"{os.getpid():x}-{next(_ERROR_SEQ):06x}"
             _LOG.exception("request %s failed (error id %s)", path, error_id)
             if _metrics.ENABLED:
@@ -247,8 +335,39 @@ class _Handler(BaseHTTPRequestHandler):
                 "error_id": error_id,
             })
         finally:
+            elapsed_ms = (_time.perf_counter() - started) * 1000.0
             if _metrics.ENABLED:
-                _REQUEST_TIMER.observe(_time.perf_counter() - started)
+                _REQUEST_TIMER.observe(elapsed_ms / 1000.0)
+                _REQUEST_HIST.observe(elapsed_ms)
+            self._finish_request(path, status, elapsed_ms, trace)
+
+    def _finish_request(self, path: str, status: int, elapsed_ms: float,
+                        trace) -> None:
+        """Access log + slow-query log for a finished POST."""
+        if trace is not None:
+            trace.attrs["status"] = status
+        cache_hit = trace.attrs.get("cache_hit") if trace else None
+        _obslog.LOGGER.info(
+            "http_access",
+            method="POST",
+            path=path,
+            status=status,
+            duration_ms=round(elapsed_ms, 3),
+            trace_id=trace.trace_id if trace else None,
+            cache_hit=cache_hit,
+        )
+        slow_ms = self.server.slow_ms
+        if (trace is not None and slow_ms is not None
+                and elapsed_ms >= slow_ms):
+            _obslog.LOGGER.warning(
+                "slow_query",
+                path=path,
+                status=status,
+                duration_ms=round(elapsed_ms, 3),
+                trace_id=trace.trace_id,
+                threshold_ms=slow_ms,
+                trace=trace.as_dict(),
+            )
 
     # ---------------------------------------------------------- POST bodies
 

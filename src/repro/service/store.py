@@ -24,6 +24,7 @@ immutable while the writer mutex is held, which is all serialization needs.
 from __future__ import annotations
 
 import threading
+import time as _time
 from pathlib import Path
 
 from ..engine.engine import RDFTX, QueryResult
@@ -31,6 +32,7 @@ from ..model.graph import TemporalGraph
 from ..model.time import MIN_TIME, NOW
 from ..mvbt.tree import DuplicateKeyError, MVBTConfig, TimeOrderError
 from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from .cache import QueryCache, normalize_query
 from .locks import ReadWriteLock, requires_writer_lock
 from .snapshot import load_snapshot, save_snapshot
@@ -43,6 +45,8 @@ _QUERIES = _metrics.counter("service.store.queries")
 _CHECKPOINTS = _metrics.counter("service.store.checkpoints")
 _REPLAYED = _metrics.counter("service.store.replayed_records")
 _REPLAY_SKIPPED = _metrics.counter("service.store.replay_skipped")
+_QUERY_HIST = _metrics.histogram("service.store.query_ms")
+_UPDATE_HIST = _metrics.histogram("service.store.update_ms")
 
 
 class StoreError(Exception):
@@ -185,26 +189,35 @@ class TemporalStore:
 
     def _update(self, op: str, subject: str, predicate: str, object: str,
                 time: int) -> int:
-        with self._writer:
-            if self._closed:
-                raise StoreError("store is closed")
-            self._validate(op, subject, predicate, object, time)
-            # WAL first: once append returns, the update survives a
-            # process kill (and a machine crash after the group commit).
-            lsn = self._wal.append(op, subject, predicate, object, time)
-            with self._rw.write_locked():
-                self._apply(op, subject, predicate, object, time)
-                self._revision = lsn
-            # After the revision bump: a concurrent reader that misses
-            # here re-executes; one that hit just before served the older
-            # revision it was pinned to.  Cleared outside the RW lock —
-            # stale entries are already unreturnable (revision tags), the
-            # clear only reclaims capacity.
-            if self._query_cache is not None:
-                self._query_cache.invalidate()
-            self._since_checkpoint += 1
-            if _metrics.ENABLED:
-                _UPDATES.inc()
+        started = _time.perf_counter()
+        with _trace.span("store.update", op=op):
+            with _trace.span("store.writer.wait"):
+                self._writer.acquire()
+            try:
+                if self._closed:
+                    raise StoreError("store is closed")
+                self._validate(op, subject, predicate, object, time)
+                # WAL first: once append returns, the update survives a
+                # process kill (and a machine crash after the group
+                # commit).
+                lsn = self._wal.append(op, subject, predicate, object, time)
+                with self._rw.write_locked():
+                    self._apply(op, subject, predicate, object, time)
+                    self._revision = lsn
+                # After the revision bump: a concurrent reader that misses
+                # here re-executes; one that hit just before served the
+                # older revision it was pinned to.  Cleared outside the RW
+                # lock — stale entries are already unreturnable (revision
+                # tags), the clear only reclaims capacity.
+                if self._query_cache is not None:
+                    self._query_cache.invalidate()
+                self._since_checkpoint += 1
+                if _metrics.ENABLED:
+                    _UPDATES.inc()
+            finally:
+                self._writer.release()
+        if _metrics.ENABLED:
+            _UPDATE_HIST.observe((_time.perf_counter() - started) * 1000.0)
         if (
             self.checkpoint_every is not None
             and self._since_checkpoint >= self.checkpoint_every
@@ -275,17 +288,31 @@ class TemporalStore:
         earlier.  Profiled queries bypass the cache (profiles are
         per-execution).
         """
+        started = _time.perf_counter()
+        try:
+            with _trace.span("store.query"):
+                return self._query(text, profile)
+        finally:
+            if _metrics.ENABLED:
+                _QUERY_HIST.observe(
+                    (_time.perf_counter() - started) * 1000.0
+                )
+
+    def _query(self, text: str, profile: bool) -> QueryResult:
         cache = self._query_cache
         key: str | None = None
         generation = 0
         if cache is not None and not profile:
             key = normalize_query(text)
-            hit = cache.get(key, self._revision)
+            with _trace.span("cache.lookup"):
+                hit = cache.get(key, self._revision)
             if hit is not None:
+                _trace.annotate_trace(cache_hit=True)
                 if _metrics.ENABLED:
                     _QUERIES.inc()
                 return hit
             generation = cache.generation
+        _trace.annotate_trace(cache_hit=False)
         with self._rw.read_locked():
             revision = self._revision
             result = self.engine.query(text, profile=profile)

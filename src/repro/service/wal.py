@@ -26,15 +26,18 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
 from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 
 _APPENDS = _metrics.counter("service.wal.appends")
 _SYNCS = _metrics.counter("service.wal.syncs")
 _TORN = _metrics.counter("service.wal.torn_tails")
+_SYNC_HIST = _metrics.histogram("service.wal.sync_ms")
 
 #: File header identifying a WAL file (8 bytes).
 WAL_MAGIC = b"RTXWAL1\n"
@@ -152,9 +155,10 @@ class WriteAheadLog:
         record = WalRecord(self._next_lsn, op, subject, predicate, object,
                            time)
         payload = record.encode()
-        self._handle.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
-        self._handle.write(payload)
-        self._handle.flush()
+        with _trace.span("wal.append", lsn=record.lsn):
+            self._handle.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
+            self._handle.write(payload)
+            self._handle.flush()
         self._next_lsn += 1
         self._pending += 1
         if _metrics.ENABLED:
@@ -168,12 +172,15 @@ class WriteAheadLog:
         storage."""
         if self._pending == 0:
             return
-        self._handle.flush()
-        if self.fsync:
-            os.fsync(self._handle.fileno())
+        started = time.perf_counter()
+        with _trace.span("wal.sync", pending=self._pending):
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
         self._pending = 0
         if _metrics.ENABLED:
             _SYNCS.inc()
+            _SYNC_HIST.observe((time.perf_counter() - started) * 1000.0)
 
     def truncate(self) -> None:
         """Reset the log to empty (after a checkpoint made it redundant).

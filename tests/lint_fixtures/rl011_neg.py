@@ -1,0 +1,17 @@
+"""Negative RL011: context-manager spans and unrelated start()/finish()."""
+import threading
+
+from repro.obs import trace
+
+
+def handle(request):
+    with trace.span("request", path=request.path):
+        with trace.span("inner"):
+            return request.run()
+
+
+def background(worker):
+    thread = threading.Thread(target=worker)
+    thread.start()  # not a span: receiver name carries no span hint
+    parser = worker.parser
+    parser.finish()  # not a span either

@@ -1,0 +1,11 @@
+"""Positive RL011: spans driven by hand instead of a context manager."""
+from repro.obs import trace
+
+
+def handle(request):
+    span = trace.span("request")
+    span.start()  # manual lifecycle: leaks open if handling raises
+    try:
+        return request.run()
+    finally:
+        span.finish()  # manual close of a span-named receiver

@@ -65,6 +65,7 @@ POSITIVE_EXPECTATIONS = {
     "RL008": ("rl008_pos.py", 4),  # [], {}, set(), list()
     "RL009": ("rl009_pos.py", 3),  # typo, malformed, dynamic name
     "RL010": ("rl010_pos.py", 2),  # module-level + control-flow assert
+    "RL011": ("rl011_pos.py", 2),  # span.start() + span.finish()
 }
 
 NEGATIVE_FIXTURES = {
@@ -78,6 +79,7 @@ NEGATIVE_FIXTURES = {
     "RL008": ["rl008_neg.py"],
     "RL009": ["rl009_neg.py"],
     "RL010": ["rl010_neg.py"],
+    "RL011": ["rl011_neg.py"],
 }
 
 

@@ -1,0 +1,375 @@
+"""Serving-layer observability: trace ids, /debug/traces, histograms,
+Prometheus text, structured logs, and behaviour under concurrent load."""
+
+import http.client
+import io
+import json
+import threading
+
+import pytest
+
+from repro.model import date_to_chronon
+from repro.obs import log as obslog
+from repro.obs import metrics
+from repro.service import TemporalStore, serve
+
+from tests.test_service_store import fixture_graph
+
+D = date_to_chronon
+
+QUERY = "SELECT ?o {UC president ?o ?t}"
+JOIN_QUERY = "SELECT ?o ?b {UC president ?o ?t . UC budget ?b ?u}"
+
+
+@pytest.fixture()
+def store(tmp_path):
+    # group_size=1 so every update group-commits immediately — the WAL
+    # sync span shows up in each update's trace.
+    with TemporalStore(tmp_path, group_size=1) as s:
+        s.load_dataset(fixture_graph())
+        yield s
+
+
+def _serve(store, **kwargs):
+    svc = serve(store, port=0, max_inflight=4, request_timeout=10.0,
+                **kwargs)
+    thread = threading.Thread(target=svc.serve_forever, daemon=True)
+    thread.start()
+    return svc, thread
+
+
+@pytest.fixture()
+def service(store):
+    svc, thread = _serve(store)
+    yield svc
+    svc.shutdown()
+    thread.join(timeout=10)
+
+
+def _request(service, method, path, payload=None, headers=None):
+    conn = http.client.HTTPConnection("127.0.0.1", service.port, timeout=15)
+    try:
+        body = json.dumps(payload) if payload is not None else None
+        send_headers = dict(headers or {})
+        if body:
+            send_headers.setdefault("Content-Type", "application/json")
+        conn.request(method, path, body, send_headers)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+def _json_request(service, method, path, payload=None, headers=None):
+    status, raw = _request(service, method, path, payload, headers)
+    return status, json.loads(raw)
+
+
+def _span_names(node, out=None):
+    if out is None:
+        out = []
+    out.append(node["name"])
+    for child in node["children"]:
+        _span_names(child, out)
+    return out
+
+
+# -------------------------------------------------------------- trace ids
+
+
+class TestTraceIds:
+    def test_query_response_carries_trace_id(self, service):
+        status, body = _json_request(service, "POST", "/query",
+                                     {"query": QUERY})
+        assert status == 200
+        assert body["trace_id"]
+
+    def test_debug_traces_returns_the_span_tree(self, service):
+        _, body = _json_request(service, "POST", "/query", {"query": QUERY})
+        trace_id = body["trace_id"]
+        status, detail = _json_request(
+            service, "GET", f"/debug/traces?id={trace_id}"
+        )
+        assert status == 200
+        assert detail["trace_id"] == trace_id
+        assert detail["name"] == "POST /query"
+        names = _span_names(detail["root"])
+        assert "store.query" in names
+        assert "admission.wait" in names
+        assert "scan.pattern" in names  # the index-scan leaf
+        assert detail["attrs"]["status"] == 200
+        assert detail["attrs"]["cache_hit"] is False
+
+    def test_join_query_records_join_span(self, service):
+        _, body = _json_request(service, "POST", "/query",
+                                {"query": JOIN_QUERY})
+        _, detail = _json_request(
+            service, "GET", f"/debug/traces?id={body['trace_id']}"
+        )
+        names = _span_names(detail["root"])
+        assert names.count("scan.pattern") == 2
+        assert any(n.startswith("join.") for n in names)
+
+    def test_update_trace_has_wal_spans(self, service):
+        _, body = _json_request(service, "POST", "/update", {
+            "op": "insert", "subject": "UC", "predicate": "chancellor",
+            "object": "Carol_Christ", "time": D("07/01/2017"),
+        })
+        _, detail = _json_request(
+            service, "GET", f"/debug/traces?id={body['trace_id']}"
+        )
+        names = _span_names(detail["root"])
+        assert "store.update" in names
+        assert "wal.append" in names
+        assert "wal.sync" in names  # group_size=1 commits per update
+        assert "lock.write.wait" in names
+
+    def test_cached_repeat_is_marked_hit(self, service):
+        _json_request(service, "POST", "/query", {"query": QUERY})
+        _, second = _json_request(service, "POST", "/query",
+                                  {"query": QUERY})
+        _, detail = _json_request(
+            service, "GET", f"/debug/traces?id={second['trace_id']}"
+        )
+        assert detail["attrs"]["cache_hit"] is True
+        names = _span_names(detail["root"])
+        assert "cache.lookup" in names
+        assert "scan.pattern" not in names  # served without scanning
+
+    def test_trace_listing_and_missing_id(self, service):
+        _, body = _json_request(service, "POST", "/query", {"query": QUERY})
+        status, listing = _json_request(service, "GET", "/debug/traces")
+        assert status == 200
+        ids = [t["trace_id"] for t in listing["traces"]]
+        assert body["trace_id"] in ids
+        assert _json_request(service, "GET", "/debug/traces?id=nope")[0] \
+            == 404
+
+    def test_profiled_query_still_traced(self, service):
+        _, body = _json_request(service, "POST", "/query",
+                                {"query": QUERY, "profile": True})
+        assert "profile" in body
+        assert body["trace_id"]
+
+
+# --------------------------------------------------------------- sampling
+
+
+class TestSampling:
+    def test_sample_zero_disables_tracing(self, store):
+        svc, thread = _serve(store, trace_sample=0.0)
+        try:
+            _, body = _json_request(svc, "POST", "/query", {"query": QUERY})
+            assert "trace_id" not in body
+            _, listing = _json_request(svc, "GET", "/debug/traces")
+            assert listing["traces"] == []
+        finally:
+            svc.shutdown()
+            thread.join(timeout=10)
+
+    def test_fractional_sample_keeps_some(self, store):
+        svc, thread = _serve(store, trace_sample=0.5)
+        try:
+            bodies = [
+                _json_request(svc, "POST", "/query", {"query": QUERY})[1]
+                for _ in range(4)
+            ]
+            traced = [b for b in bodies if "trace_id" in b]
+            assert len(traced) == 2  # deterministic accumulator sampling
+        finally:
+            svc.shutdown()
+            thread.join(timeout=10)
+
+
+# ----------------------------------------------------------------- metrics
+
+
+class TestHistogramsOverHTTP:
+    def test_request_histogram_grows_per_request(self, service):
+        before = metrics.REGISTRY.histogram(
+            "service.server.request_ms"
+        ).count
+        for _ in range(3):
+            _json_request(service, "POST", "/query", {"query": QUERY})
+        _, snap = _json_request(service, "GET", "/metrics")
+        hist = snap["histograms"]["service.server.request_ms"]
+        assert hist["count"] == before + 3
+        assert {"p50_ms", "p95_ms", "p99_ms"} <= set(hist)
+
+    def test_prometheus_rendering_on_accept_header(self, service):
+        _json_request(service, "POST", "/query", {"query": QUERY})
+        status, raw = _request(service, "GET", "/metrics",
+                               headers={"Accept": "text/plain"})
+        text = raw.decode("utf-8")
+        assert status == 200
+        assert "# TYPE repro_service_server_request_ms histogram" in text
+        assert 'repro_service_server_request_ms_bucket{le="+Inf"}' in text
+        assert "repro_service_server_requests_total" in text
+
+    def test_json_stays_the_default(self, service):
+        status, body = _json_request(service, "GET", "/metrics")
+        assert status == 200
+        assert "histograms" in body
+
+
+# -------------------------------------------------------------- structured log
+
+
+class TestStructuredLogs:
+    @pytest.fixture()
+    def captured(self):
+        stream = io.StringIO()
+        obslog.set_stream(stream)
+        obslog.set_level("info")
+        yield stream
+        obslog.set_level("warning")
+        obslog.set_stream(None)
+
+    def _lines(self, stream, event):
+        return [
+            json.loads(line) for line in stream.getvalue().splitlines()
+            if json.loads(line)["event"] == event
+        ]
+
+    def test_access_log_line_per_request(self, service, captured):
+        _, body = _json_request(service, "POST", "/query", {"query": QUERY})
+        lines = self._lines(captured, "http_access")
+        assert len(lines) == 1
+        (line,) = lines
+        assert line["method"] == "POST"
+        assert line["path"] == "/query"
+        assert line["status"] == 200
+        assert line["trace_id"] == body["trace_id"]
+        assert line["cache_hit"] is False
+        assert line["duration_ms"] >= 0
+
+    def test_quiet_by_default_at_warning(self, service):
+        stream = io.StringIO()
+        obslog.set_stream(stream)
+        try:
+            _json_request(service, "POST", "/query", {"query": QUERY})
+            assert stream.getvalue() == ""
+        finally:
+            obslog.set_stream(None)
+
+    def test_slow_query_log_carries_span_tree(self, store, captured):
+        svc, thread = _serve(store, slow_ms=0.0)  # everything is "slow"
+        try:
+            _, body = _json_request(svc, "POST", "/query", {"query": QUERY})
+            lines = self._lines(captured, "slow_query")
+            assert len(lines) == 1
+            (line,) = lines
+            assert line["level"] == "warning"
+            assert line["trace_id"] == body["trace_id"]
+            assert "store.query" in _span_names(line["trace"]["root"])
+        finally:
+            svc.shutdown()
+            thread.join(timeout=10)
+
+    def test_error_statuses_logged_with_status(self, service, captured):
+        status, _ = _json_request(service, "POST", "/query",
+                                  {"query": "SELECT ?x {"})
+        assert status == 400
+        lines = self._lines(captured, "http_access")
+        assert lines[-1]["status"] == 400
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            obslog.set_level("loud")
+
+
+# ------------------------------------------------------------- concurrency
+
+
+class TestConcurrency:
+    def test_histograms_and_traces_under_load(self, service):
+        """N concurrent clients: every request gets its own trace, the
+        histogram counts them all, and each span tree stays intact."""
+        n = 8
+        results = [None] * n
+        errors = []
+        before = metrics.REGISTRY.histogram(
+            "service.server.request_ms"
+        ).count
+
+        def client(i):
+            try:
+                _, body = _json_request(service, "POST", "/query",
+                                        {"query": QUERY})
+                results[i] = body["trace_id"]
+            except Exception as error:  # pragma: no cover - surfaced below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert all(results)
+        assert len(set(results)) == n  # no two requests share a trace
+        after = metrics.REGISTRY.histogram(
+            "service.server.request_ms"
+        ).count
+        assert after - before == n
+        for trace_id in results:
+            status, detail = _json_request(
+                service, "GET", f"/debug/traces?id={trace_id}"
+            )
+            assert status == 200
+            names = _span_names(detail["root"])
+            assert "store.query" in names
+            # Spans from other requests never leak into this tree.
+            assert names.count("store.query") == 1
+
+    def test_parallel_pool_spans_attach_to_right_trace(self, tmp_path):
+        """With parallel scans on, pool workers inherit the submitting
+        request's context: scan spans land under that trace only."""
+        with TemporalStore(tmp_path, parallel=True) as store:
+            store.load_dataset(fixture_graph())
+            svc, thread = _serve(store)
+            try:
+                bodies = [
+                    _json_request(svc, "POST", "/query",
+                                  {"query": JOIN_QUERY})[1],
+                ]
+                # Distinct second query so the result cache cannot serve it.
+                bodies.append(_json_request(svc, "POST", "/query", {
+                    "query": "SELECT ?o ?b {UM president ?o ?t . "
+                             "UC budget ?b ?u}",
+                })[1])
+                for body in bodies:
+                    _, detail = _json_request(
+                        svc, "GET", f"/debug/traces?id={body['trace_id']}"
+                    )
+                    names = _span_names(detail["root"])
+                    assert names.count("scan.pattern") == 2
+                    assert detail["trace_id"] == body["trace_id"]
+            finally:
+                svc.shutdown()
+                thread.join(timeout=10)
+
+
+# ----------------------------------------------------------------- disabled
+
+
+class TestKillSwitchOverHTTP:
+    def test_disabled_obs_serves_without_traces(self, store):
+        metrics.set_enabled(False)
+        try:
+            svc, thread = _serve(store)
+            try:
+                status, body = _json_request(svc, "POST", "/query",
+                                             {"query": QUERY})
+                assert status == 200
+                assert "trace_id" not in body
+                assert body["rows"]
+                _, listing = _json_request(svc, "GET", "/debug/traces")
+                assert listing["traces"] == []
+            finally:
+                svc.shutdown()
+                thread.join(timeout=10)
+        finally:
+            metrics.set_enabled(True)
