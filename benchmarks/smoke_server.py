@@ -6,14 +6,18 @@ Drives the real ``repro-tx serve`` process over HTTP:
 2. run queries and durable updates against it, including a repeated-query
    mix that must show nonzero ``service.cache.hits`` in ``/metrics``;
    query responses must carry a trace id that ``/debug/traces`` can
-   resolve to the request's span tree,
+   resolve to the request's span tree; after the mix, ``/debug/workload``
+   must list per-shape aggregates (count, p95, cache-hit ratio, exemplar
+   trace id) and ``/debug/storage`` a structural health report,
 3. checkpoint, apply more updates, then SIGKILL the process (no clean
    shutdown),
 4. restart the server (with ``--parallel``) on the same directory and
    verify every acknowledged update survived — both the checkpointed ones
-   and the WAL-only tail,
+   and the WAL-only tail; ``/debug/profile`` must return non-empty
+   collapsed stacks while a query loop runs,
 5. restart once more with ``REPRO_OBS=0``: tracing must vanish from
-   responses and the obs-on median latency must stay within
+   responses, the workload registry must stay empty, the profiler must
+   refuse (503), and the obs-on median latency must stay within
    ``SMOKE_OBS_RATIO`` (default 1.5×) of the kill-switch run.
 
 Run directly (no pytest needed)::
@@ -32,6 +36,7 @@ import signal
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 
 REPO = os.path.join(os.path.dirname(__file__), "..")
@@ -52,6 +57,18 @@ def request(method, path, payload=None, timeout=30):
                      {"Content-Type": "application/json"} if body else {})
         response = conn.getresponse()
         return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def request_text(method, path, timeout=60):
+    """Like :func:`request`, but returning the raw body undecoded —
+    for text endpoints such as ``/debug/profile``."""
+    conn = http.client.HTTPConnection("127.0.0.1", PORT, timeout=timeout)
+    try:
+        conn.request(method, path, None, {})
+        response = conn.getresponse()
+        return response.status, response.read().decode("utf-8")
     finally:
         conn.close()
 
@@ -188,6 +205,26 @@ def main() -> int:
                   {k: v for k, v in body["counters"].items()
                    if k.startswith("service.")})
 
+            # Workload intelligence: the mix above must have aggregated
+            # into per-shape stats with a resolvable exemplar trace.
+            status, workload = request("GET", "/debug/workload")
+            check("workload populated",
+                  status == 200 and workload["enabled"]
+                  and workload["shapes"], workload)
+            busiest = workload["shapes"][0]
+            check("workload shape aggregates",
+                  busiest["count"] > 1 and busiest["p95_ms"] >= 0
+                  and 0.0 < busiest["cache_hit_ratio"] <= 1.0, busiest)
+            check("workload exemplar trace id",
+                  bool(busiest["exemplar_trace_id"]), busiest)
+
+            status, storage = request("GET", "/debug/storage")
+            check("storage report",
+                  status == 200
+                  and set(storage["indexes"])
+                  == {"spo", "sop", "pos", "ops"}
+                  and storage["store"]["wal"]["next_lsn"] > 1, status)
+
             os.kill(server.pid, signal.SIGKILL)  # crash, no shutdown
             server.wait(timeout=30)
         finally:
@@ -228,6 +265,32 @@ def main() -> int:
                   status == 200 and body["revision"] == final_revision + 1,
                   (status, body))
 
+            # Sampling profiler: profile one second while a query loop
+            # keeps the worker threads busy — stacks must come back.
+            stop_load = threading.Event()
+
+            def query_load():
+                while not stop_load.is_set():
+                    request("POST", "/query", {
+                        "query": "SELECT ?s ?o {?s population ?o ?t}",
+                    })
+
+            load_thread = threading.Thread(target=query_load, daemon=True)
+            load_thread.start()
+            try:
+                status, collapsed = request_text(
+                    "GET", "/debug/profile?seconds=1"
+                )
+            finally:
+                stop_load.set()
+                load_thread.join(timeout=30)
+            check("profiler returns collapsed stacks",
+                  status == 200 and collapsed.strip(),
+                  (status, collapsed[:200]))
+            heaviest = collapsed.splitlines()[0]
+            check("collapsed stack format",
+                  heaviest.rsplit(" ", 1)[1].isdigit(), heaviest)
+
             # Obs-on latency baseline: a cached repeated query, measured
             # on this (tracing-enabled) server before it shuts down.
             latency_query = "SELECT ?o {SmokeCity_1 population ?o ?t}"
@@ -247,6 +310,12 @@ def main() -> int:
             status, listing = request("GET", "/debug/traces")
             check("kill switch keeps trace buffer empty",
                   status == 200 and listing["traces"] == [], listing)
+            status, workload = request("GET", "/debug/workload")
+            check("kill switch keeps workload empty",
+                  status == 200 and not workload["enabled"]
+                  and workload["shapes"] == [], workload)
+            status, _ = request_text("GET", "/debug/profile?seconds=0.1")
+            check("kill switch refuses profiling", status == 503, status)
             off_median = median_latency(latency_query)
         finally:
             stop_server(server)

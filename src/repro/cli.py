@@ -9,6 +9,7 @@ Subcommands::
     repro-tx generate KIND N OUT.tnq       write a synthetic dataset
     repro-tx snapshot DATASET.tnq OUT      compile a dataset to a snapshot
     repro-tx serve DIR                     durable HTTP SPARQLT endpoint
+    repro-tx doctor TARGET                 storage health report
     repro-tx lint [PATHS…]                 project-specific static analysis
 
 ``query --analyze`` prints an EXPLAIN ANALYZE-style operator tree with
@@ -86,6 +87,9 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--no-optimizer", action="store_true")
     stats.add_argument("--parallel", action="store_true",
                        help="dispatch pattern scans on a thread pool")
+    stats.add_argument("--workload", action="store_true",
+                       help="also print the per-shape workload table "
+                            "(query fingerprints)")
 
     generate = sub.add_parser("generate", help="write a synthetic dataset")
     generate.add_argument("kind", choices=("wikipedia", "govtrack", "yago"))
@@ -143,10 +147,25 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="recent traces kept for /debug/traces "
                             "(default 128)")
+    serve.add_argument("--stats-refresh-qerror", type=float, default=None,
+                       metavar="Q",
+                       help="rebuild optimizer statistics when the "
+                            "sampled median q-error sustains at or above "
+                            "Q (default: off)")
     serve.add_argument("--log-level", default="warning",
                        choices=("debug", "info", "warning", "error"),
                        help="structured-log threshold; 'info' turns on "
                             "per-request access lines (default: warning)")
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="storage health report: MVBT depth/fill/compression, "
+             "dictionary, WAL, caches — with anomaly warnings",
+    )
+    doctor.add_argument("target",
+                        help="a dataset file, snapshot, or serve directory")
+    doctor.add_argument("--json", action="store_true",
+                        help="emit the raw report as JSON")
 
     from .lint import checker as _lint_checker
 
@@ -231,7 +250,14 @@ def cmd_query(args) -> int:
 
 def cmd_stats(args) -> int:
     from .obs import REGISTRY
+    from .obs import metrics as _obs_metrics
 
+    if not _obs_metrics.ENABLED:
+        # Nothing would be recorded: loading and querying with the kill
+        # switch on produces an all-zero report, which reads like a bug.
+        print("observability is disabled (REPRO_OBS=0): no metrics to "
+              "report; unset REPRO_OBS to collect them")
+        return 0
     engine = _load_engine(args.dataset, not args.no_optimizer)
     if args.parallel:
         engine.parallel = True
@@ -247,6 +273,11 @@ def cmd_stats(args) -> int:
         print(REGISTRY.render_json())
     else:
         print(REGISTRY.render_text())
+    if args.workload:
+        from .obs import workload as _workload
+
+        print()
+        print(_workload.WORKLOAD.render_text())
     return 0
 
 
@@ -365,6 +396,7 @@ def cmd_serve(args) -> int:
         checkpoint_every=args.checkpoint_every,
         query_cache_size=args.query_cache or None,
         parallel=True if args.parallel else None,
+        stats_refresh_qerror=args.stats_refresh_qerror,
     )
     try:
         if args.data:
@@ -402,6 +434,40 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_doctor(args) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from .obs import introspect as _introspect
+
+    target = Path(args.target)
+    if target.is_dir():
+        from .service.store import TemporalStore
+
+        # A serve directory: open it read-only-ish (no optimizer build —
+        # the report does not need join ordering) and include WAL/cache
+        # state alongside the engine walk.
+        with TemporalStore(target, use_optimizer=False,
+                           query_cache_size=None) as store:
+            report = store.storage_report()
+    else:
+        engine = _load_engine(args.target, use_optimizer=False)
+        report = _introspect.engine_report(engine)
+    warnings = _introspect.find_anomalies(report)
+    if args.json:
+        report["warnings"] = warnings
+        print(_json.dumps(report, indent=2))
+        return 0
+    print(_introspect.render_report(report))
+    if warnings:
+        print()
+        for warning in warnings:
+            print(f"warning: {warning}")
+    else:
+        print("\nno anomalies found")
+    return 0
+
+
 def cmd_lint(args) -> int:
     from .lint import checker as _lint_checker
 
@@ -418,6 +484,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": cmd_generate,
         "snapshot": cmd_snapshot,
         "serve": cmd_serve,
+        "doctor": cmd_doctor,
         "lint": cmd_lint,
     }[args.command]
     try:

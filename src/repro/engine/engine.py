@@ -18,6 +18,7 @@ from ..model.time import MIN_TIME, NOW, PeriodSet, format_chronon
 from ..mvbt.tree import MVBT, MVBTConfig, bulk_load
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
+from ..obs import workload as _workload
 from ..obs.profile import ProfileNode, QueryProfile
 from ..sparqlt.ast import Query
 from ..sparqlt.parser import parse
@@ -120,6 +121,7 @@ class RDFTX:
         optimizer=None,
         stats_refresh_threshold: int | None = 256,
         parallel: bool | None = None,
+        stats_refresh_qerror: float | None = None,
     ) -> None:
         self.config = config or MVBTConfig(block_capacity=64, weak_min=12,
                                            epsilon=12)
@@ -152,6 +154,13 @@ class RDFTX:
         #: (None disables the automatic refresh; see
         #: :meth:`refresh_statistics`).
         self.stats_refresh_threshold = stats_refresh_threshold
+        #: estimate-drift monitor: samples per-pattern q-errors during
+        #: normal execution and — when ``stats_refresh_qerror`` is set —
+        #: triggers :meth:`refresh_statistics` on sustained drift even
+        #: before the update-count threshold fires.
+        self.drift = _workload.DriftMonitor(
+            qerror_threshold=stats_refresh_qerror
+        )
 
     # ----------------------------------------------------------------- load
 
@@ -163,6 +172,7 @@ class RDFTX:
         optimizer=None,
         compress: bool = True,
         stats_refresh_threshold: int | None = 256,
+        stats_refresh_qerror: float | None = None,
     ) -> "RDFTX":
         """Build an engine over a temporal graph (bulk load + compression).
 
@@ -170,7 +180,8 @@ class RDFTX:
         their leaves are then delta-compressed (Section 7.5).
         """
         engine = cls(config=config, optimizer=optimizer,
-                     stats_refresh_threshold=stats_refresh_threshold)
+                     stats_refresh_threshold=stats_refresh_threshold,
+                     stats_refresh_qerror=stats_refresh_qerror)
         engine.load(graph, compress=compress)
         return engine
 
@@ -251,6 +262,7 @@ class RDFTX:
         update burst, or from ``repro-tx serve`` checkpoints).
         """
         self._stats_dirty = 0
+        self.drift.reset_window()
         if self.optimizer is None or self._graph is None:
             return False
         self.optimizer.rebuild(self._graph)
@@ -264,6 +276,13 @@ class RDFTX:
             and self.optimizer is not None
             and self._stats_dirty >= threshold
         ):
+            self.refresh_statistics()
+        elif self.optimizer is not None and self.drift.refresh_due():
+            # Sustained estimate drift: the statistics mispredict even
+            # though few updates accumulated (skewed writes).  Rebuild
+            # early; note_refresh records the trigger before the window
+            # is cleared by refresh_statistics.
+            self.drift.note_refresh()
             self.refresh_statistics()
 
     def _encode(self, subject: str, predicate: str, object: str):
@@ -344,7 +363,20 @@ class RDFTX:
         else:
             query = text
         want_profile = profile and _metrics.ENABLED
-        prof_root = ProfileNode(op="execute") if want_profile else None
+        # The drift monitor piggybacks on the profiling machinery for a
+        # sampled fraction of ordinary queries: the profile is built only
+        # to read est-vs-actual q-errors, then stripped from the result.
+        drift_sample = (
+            not want_profile
+            and _metrics.ENABLED
+            and self.optimizer is not None
+            and self.drift.sample()
+        )
+        prof_root = (
+            ProfileNode(op="execute")
+            if want_profile or drift_sample
+            else None
+        )
         started = time.perf_counter()
         if _metrics.ENABLED:
             _QUERIES.inc()
@@ -364,7 +396,9 @@ class RDFTX:
             )
             projected = project(rows, query.select, self.dictionary)
             return self._finish_result(
-                query, projected, prof_root, started
+                query, projected, prof_root, started,
+                text=text if isinstance(text, str) else None,
+                keep_profile=want_profile,
             )
         if plan is None:
             try:
@@ -375,10 +409,14 @@ class RDFTX:
                 # A constant term missing from the dictionary: no pattern
                 # can match, so there is nothing to execute (or profile
                 # beyond an empty projection).
-                return self._finish_result(query, [], prof_root, started)
+                return self._finish_result(
+                    query, [], prof_root, started,
+                    text=text if isinstance(text, str) else None,
+                    keep_profile=want_profile,
+                )
         graph, order = plan
         step_estimates = None
-        if want_profile:
+        if prof_root is not None:
             step_estimates = self._annotate_estimates(graph, order)
         with _trace.span("engine.execute", patterns=len(order)):
             rows = execute(
@@ -387,7 +425,11 @@ class RDFTX:
                 parallel=self.parallel,
             )
             projected = project(rows, query.select, self.dictionary)
-        return self._finish_result(query, projected, prof_root, started)
+        return self._finish_result(
+            query, projected, prof_root, started,
+            text=text if isinstance(text, str) else None,
+            keep_profile=want_profile,
+        )
 
     def _annotate_estimates(
         self, graph: PlanGraph, order: list[int]
@@ -411,6 +453,8 @@ class RDFTX:
         projected: list[dict],
         prof_root: ProfileNode | None,
         started: float,
+        text: str | None = None,
+        keep_profile: bool = True,
     ) -> QueryResult:
         elapsed = time.perf_counter() - started
         if _metrics.ENABLED:
@@ -426,9 +470,17 @@ class RDFTX:
             query_profile = QueryProfile(
                 root=root, total_ms=elapsed * 1000.0
             )
+            # Every built profile feeds the drift monitor — explicit
+            # profiled runs and sampled ordinary ones alike.
+            self.drift.observe(query_profile)
+        if _metrics.ENABLED:
+            _workload.WORKLOAD.record_query(
+                query, text, elapsed * 1000.0, rows=len(projected),
+                cache_hit=False, trace_id=_trace.current_trace_id(),
+            )
         return QueryResult(
             variables=list(query.select), rows=projected,
-            profile=query_profile,
+            profile=query_profile if keep_profile else None,
         )
 
     def explain(self, text: str | Query) -> str:

@@ -8,6 +8,7 @@ from .hygiene import MutableDefaultArgument, ProductionAssert, \
 from .invariants import CompressionEncapsulation, EntryLifetimeMutation
 from .locks import BlockingUnderLock, UnguardedStateMutation
 from .metrics_names import UnregisteredMetricName
+from .obs_series import UncatalogedObsSeries
 from .trace_spans import ManualSpanLifecycle
 
 #: Every rule, in ID order.  Instantiated once; rules are stateless.
@@ -23,6 +24,7 @@ ALL_RULES: tuple[Rule, ...] = (
     UnregisteredMetricName(),
     ProductionAssert(),
     ManualSpanLifecycle(),
+    UncatalogedObsSeries(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

@@ -1,0 +1,120 @@
+"""Obs-series hygiene rule (RL012).
+
+RL009 covers registration through a registry receiver
+(``_metrics.counter(...)``); this rule closes the remaining hole: metric
+factories imported as *bare names* (``from ..obs.metrics import
+counter``) bypass the receiver check, so a typo'd or uncataloged series
+still slips through review.  Any new obs series must be declared in
+``repro.obs.catalog`` regardless of how the factory was brought into
+scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from ...obs import catalog
+from .base import Finding, Rule, path_matches
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..checker import ModuleInfo
+
+#: factory name -> catalog set the metric name must belong to.
+FACTORY_KINDS = {
+    "counter": "COUNTERS",
+    "gauge": "GAUGES",
+    "histogram": "HISTOGRAMS",
+    "timer": "TIMERS",
+    "timer_stat": "TIMERS",
+}
+
+#: Import sources that denote the obs metrics layer.  Matches absolute
+#: (``repro.obs.metrics``) and relative (``..obs``, ``.metrics`` inside
+#: the obs package) spellings.
+OBS_MODULE_TAILS = ("obs", "obs.metrics", "metrics")
+
+#: The registry implementation and the catalog itself are exempt.
+EXEMPT_PATHS = ("obs/metrics.py", "obs/catalog.py")
+
+
+def _is_obs_module(module: str | None, level: int,
+                   logical_path: str) -> bool:
+    """Whether an ``ImportFrom`` pulls from the obs metrics layer."""
+    if module is None:
+        return False
+    if module == "obs" or module.endswith(".obs"):
+        return True
+    if module == "obs.metrics" or module.endswith("obs.metrics"):
+        return True
+    # ``from .metrics import counter`` only counts inside the obs package
+    # itself (where EXEMPT_PATHS already excludes the real users).
+    return (
+        level > 0 and module == "metrics" and "obs/" in logical_path
+    )
+
+
+class UncatalogedObsSeries(Rule):
+    """RL012: bare-imported metric factories must use cataloged names."""
+
+    id = "RL012"
+    title = "obs series not declared in the catalog"
+    rationale = (
+        "render_prometheus() and the dashboards enumerate series from "
+        "repro.obs.catalog; a factory imported as a bare name sidesteps "
+        "RL009's receiver check, so an uncataloged series would scrape "
+        "as present-sometimes — declare every new series in the catalog."
+    )
+
+    def check(self, module: "ModuleInfo") -> Iterator[Finding]:
+        if path_matches(module.logical_path, EXEMPT_PATHS):
+            return
+        aliases: dict[str, str] = {}
+        for node in ast.walk(module.tree):
+            # ImportMap.of() skips relative imports, so this rule scans
+            # ast.ImportFrom itself, levels included.
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            if not _is_obs_module(node.module, node.level,
+                                  module.logical_path):
+                continue
+            for alias in node.names:
+                if alias.name in FACTORY_KINDS:
+                    aliases[alias.asname or alias.name] = alias.name
+        if not aliases:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Name) or func.id not in aliases:
+                continue
+            factory = aliases[func.id]
+            kind_set = FACTORY_KINDS[factory]
+            if not node.args:
+                continue
+            name_arg = node.args[0]
+            if not isinstance(name_arg, ast.Constant) or not isinstance(
+                name_arg.value, str
+            ):
+                yield self.finding(
+                    module, node,
+                    f"`{func.id}(...)` called with a non-literal metric "
+                    f"name — names must be static so the catalog can "
+                    f"list them",
+                )
+                continue
+            name = name_arg.value
+            if not catalog.is_well_formed(name):
+                yield self.finding(
+                    module, node,
+                    f"metric name {name!r} is malformed (want dotted "
+                    f"lower_snake segments, e.g. `engine.updates`)",
+                )
+            elif name not in getattr(catalog, kind_set):
+                yield self.finding(
+                    module, node,
+                    f"metric name {name!r} is not declared in "
+                    f"repro.obs.catalog.{kind_set} — register it there "
+                    f"or fix the typo",
+                )

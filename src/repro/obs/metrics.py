@@ -440,33 +440,62 @@ class Registry:
         counters gain the conventional ``_total`` suffix, timer stats
         render as ``_count``/``_sum_ms``, histograms as classic
         cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``.
+
+        Every cataloged metric (:mod:`repro.obs.catalog`) is rendered —
+        zero-valued when nothing has registered it yet — alongside any
+        ad-hoc registered names, so the scrape surface is identical
+        across restarts, and every series carries its ``# HELP``
+        contract.
         """
+        from . import catalog as _catalog
+
         lines: list[str] = []
 
         def prom(name: str) -> str:
             return "repro_" + name.replace(".", "_")
 
+        def help_line(base: str, name: str) -> None:
+            text = _catalog.help_for(name)
+            if text:
+                lines.append(f"# HELP {base} {text}")
+
         with self._lock:
-            counters = sorted(self._counters.items())
-            gauges = sorted(self._gauges.items())
-            timers = sorted(self._timers.items())
-            histograms = sorted(self._histograms.items())
-        for name, counter_ in counters:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            timers = dict(self._timers)
+            histograms = dict(self._histograms)
+        for name in sorted(set(counters) | _catalog.COUNTERS):
             base = prom(name)
+            counter_ = counters.get(name)
+            help_line(f"{base}_total", name)
             lines.append(f"# TYPE {base}_total counter")
-            lines.append(f"{base}_total {counter_.value}")
-        for name, gauge_ in gauges:
+            lines.append(
+                f"{base}_total {counter_.value if counter_ else 0}"
+            )
+        for name in sorted(set(gauges) | _catalog.GAUGES):
             base = prom(name)
+            gauge_ = gauges.get(name)
+            help_line(base, name)
             lines.append(f"# TYPE {base} gauge")
-            lines.append(f"{base} {gauge_.value:g}")
-        for name, stat in timers:
+            lines.append(f"{base} {gauge_.value if gauge_ else 0:g}")
+        for name in sorted(set(timers) | _catalog.TIMERS):
             base = prom(name)
+            stat = timers.get(name)
+            help_line(f"{base}_seconds", name)
             lines.append(f"# TYPE {base}_seconds summary")
-            lines.append(f"{base}_seconds_count {stat.count}")
-            lines.append(f"{base}_seconds_sum {stat.total:.9g}")
-        for name, hist in histograms:
+            lines.append(
+                f"{base}_seconds_count {stat.count if stat else 0}"
+            )
+            lines.append(
+                f"{base}_seconds_sum {stat.total if stat else 0.0:.9g}"
+            )
+        for name in sorted(set(histograms) | _catalog.HISTOGRAMS):
             base = prom(name)
+            hist = histograms.get(name)
+            if hist is None:
+                hist = Histogram(name)
             data = hist.as_dict()
+            help_line(base, name)
             lines.append(f"# TYPE {base} histogram")
             cumulative = 0
             for bound, cum in data["buckets"]:

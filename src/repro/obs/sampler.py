@@ -1,0 +1,124 @@
+"""On-demand wall-clock sampling profiler (zero dependencies).
+
+Polls :func:`sys._current_frames` on the calling thread at a fixed
+interval for a bounded duration and folds every other thread's stack
+into collapsed-stack counts — the ``frame;frame;frame count`` text
+format flamegraph.pl and speedscope consume directly.  Served at
+``GET /debug/profile?seconds=N``.
+
+Design constraints:
+
+* **Single concurrent profile** — sampling costs one stack walk per
+  thread per tick; a module lock rejects overlapping runs
+  (:class:`ProfilerBusy` -> HTTP 409).
+* **Kill switch** — with ``REPRO_OBS=0`` profiling refuses to run
+  (:class:`ProfilerDisabled` -> HTTP 503).
+* **Self-exclusion** — the sampling thread's own stack is skipped;
+  every other thread (request workers, pool workers, the accept loop)
+  is included, so idle time is visible too.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import Counter as _TallyCounter
+
+from . import metrics as _metrics
+
+_PROFILES = _metrics.counter("obs.profiler.profiles")
+_SAMPLES = _metrics.counter("obs.profiler.samples")
+
+#: Seconds between stack polls (~100 Hz; cheap for tens of threads).
+DEFAULT_INTERVAL = 0.01
+
+#: Upper bound on one profile's duration.
+MAX_SECONDS = 60.0
+
+#: Serializes profiles process-wide.
+_ACTIVE = threading.Lock()
+
+
+class ProfilerBusy(Exception):
+    """Another profile is already running."""
+
+
+class ProfilerDisabled(Exception):
+    """Profiling refused because observability is off (``REPRO_OBS=0``)."""
+
+
+def _frame_label(frame) -> str:
+    """One collapsed-stack frame: ``module:function``."""
+    code = frame.f_code
+    filename = code.co_filename.replace("\\", "/").rsplit("/", 1)[-1]
+    if filename.endswith(".py"):
+        filename = filename[:-3]
+    # Semicolons and spaces are the collapsed format's separators.
+    name = code.co_name.replace(";", "_").replace(" ", "_")
+    return f"{filename}:{name}"
+
+
+def _collapse(frame) -> str:
+    """Root-first ``a;b;c`` stack for one thread's current frame."""
+    labels: list[str] = []
+    while frame is not None:
+        labels.append(_frame_label(frame))
+        frame = frame.f_back
+    labels.reverse()
+    return ";".join(labels)
+
+
+class SamplingProfiler:
+    """Collects stack samples; render with :meth:`collapsed`."""
+
+    def __init__(self, interval: float = DEFAULT_INTERVAL) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self._counts: _TallyCounter = _TallyCounter()
+        self.samples = 0
+
+    def collect(self, seconds: float) -> None:
+        """Sample every thread except the caller for ``seconds``."""
+        own = threading.get_ident()
+        deadline = time.perf_counter() + seconds
+        while time.perf_counter() < deadline:
+            for thread_id, frame in sys._current_frames().items():
+                if thread_id == own:
+                    continue
+                self._counts[_collapse(frame)] += 1
+                self.samples += 1
+            time.sleep(self.interval)
+        if _metrics.ENABLED:
+            _SAMPLES.inc(self.samples)
+
+    def collapsed(self) -> str:
+        """Collapsed-stack text, heaviest stacks first."""
+        lines = [
+            f"{stack} {count}"
+            for stack, count in self._counts.most_common()
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def profile(seconds: float, interval: float = DEFAULT_INTERVAL) -> str:
+    """Run one bounded profile and return the collapsed-stack text.
+
+    Raises :class:`ProfilerDisabled` under ``REPRO_OBS=0``,
+    :class:`ProfilerBusy` when a profile is already in flight, and
+    ``ValueError`` for an out-of-range duration.
+    """
+    if not _metrics.ENABLED:
+        raise ProfilerDisabled("observability disabled (REPRO_OBS=0)")
+    if not (0.0 < seconds <= MAX_SECONDS):
+        raise ValueError(f"seconds must be in (0, {MAX_SECONDS:g}]")
+    if not _ACTIVE.acquire(blocking=False):
+        raise ProfilerBusy("another profile is already running")
+    try:
+        sampler = SamplingProfiler(interval=interval)
+        sampler.collect(seconds)
+        _PROFILES.inc()
+        return sampler.collapsed()
+    finally:
+        _ACTIVE.release()

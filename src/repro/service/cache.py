@@ -76,6 +76,11 @@ class QueryCache:
         :meth:`put`."""
         return self._generation
 
+    @property
+    def capacity(self) -> int:
+        """Maximum entries the cache holds."""
+        return self._lru.capacity
+
     def get(self, key: str, revision: int) -> QueryResult | None:
         """The cached result for ``key`` at exactly ``revision``, or None.
 

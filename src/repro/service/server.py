@@ -12,10 +12,15 @@ thread per connection, with admission control layered on top —
 Endpoints::
 
     GET  /healthz       liveness + store revision / live fact count
+                        + process uptime / RSS
     GET  /metrics       the obs registry (JSON; ?format=text for humans,
                         Prometheus text when Accept: text/plain)
     GET  /debug/traces  recent request traces (?id=<trace_id> for the
                         full span tree, ?limit=N for the listing)
+    GET  /debug/workload  per-shape query aggregates (?limit=N)
+    GET  /debug/storage   MVBT / dictionary / WAL / cache health report
+    GET  /debug/profile   on-demand sampling profiler (?seconds=N);
+                        returns collapsed-stack text for flamegraph.pl
     POST /query         {"query": "...", "profile": false} -> rows
     POST /update        {"op": "insert"|"delete", "subject": ..., ...}
                         or {"updates": [...]} for a batch
@@ -38,6 +43,7 @@ import itertools
 import json
 import logging
 import os
+import re
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -46,9 +52,12 @@ from urllib.parse import urlparse, parse_qs
 
 from ..model.time import NOW, PeriodSet, TimeError, date_to_chronon
 from ..mvbt.tree import DuplicateKeyError, TimeOrderError
+from ..obs import introspect as _introspect
 from ..obs import log as _obslog
 from ..obs import metrics as _metrics
+from ..obs import sampler as _sampler
 from ..obs import trace as _trace
+from ..obs import workload as _workload
 from ..sparqlt.errors import SparqltError
 from .store import StoreError, TemporalStore
 
@@ -58,6 +67,12 @@ _TIMEOUTS = _metrics.counter("service.server.timeouts")
 _ERRORS = _metrics.counter("service.server.errors")
 _REQUEST_TIMER = _metrics.REGISTRY.timer_stat("service.server.request")
 _REQUEST_HIST = _metrics.histogram("service.server.request_ms")
+_UPTIME = _metrics.gauge("process.uptime_seconds")
+_RSS = _metrics.gauge("process.rss_bytes")
+
+#: Shape of the trace ids :mod:`repro.obs.trace` mints (pid-seq hex); a
+#: lookup that cannot match gets 400, a well-formed miss gets 404.
+_TRACE_ID_RE = re.compile(r"^[0-9a-f]+-[0-9a-f]{8,}$")
 
 _LOG = logging.getLogger("repro.service.server")
 
@@ -213,8 +228,17 @@ class _Handler(BaseHTTPRequestHandler):
                 "revision": store.revision,
                 "live_facts": store.live_facts,
                 "cached_results": store.cached_results,
+                "uptime_seconds": round(
+                    _introspect.process_uptime_seconds(), 3
+                ),
+                "rss_bytes": _introspect.process_rss_bytes(),
             })
         elif parsed.path == "/metrics":
+            if _metrics.ENABLED:
+                _UPTIME.set(_introspect.process_uptime_seconds())
+                rss = _introspect.process_rss_bytes()
+                if rss is not None:
+                    _RSS.set(rss)
             query = parse_qs(parsed.query)
             accept = self.headers.get("Accept", "")
             if query.get("format") == ["text"]:
@@ -228,12 +252,18 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, _metrics.REGISTRY.snapshot())
         elif parsed.path == "/debug/traces":
             self._handle_traces(parse_qs(parsed.query))
+        elif parsed.path == "/debug/workload":
+            self._handle_workload(parse_qs(parsed.query))
+        elif parsed.path == "/debug/storage":
+            self._send_json(200, self.server.store.storage_report())
+        elif parsed.path == "/debug/profile":
+            self._handle_profile(parse_qs(parsed.query))
         else:
             self._send_error(404, f"no such endpoint: {parsed.path}")
 
-    def _send_text(self, body_text: str) -> None:
+    def _send_text(self, body_text: str, status: int = 200) -> None:
         body = body_text.encode("utf-8")
-        self.send_response(200)
+        self.send_response(status)
         self.send_header("Content-Type", "text/plain; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
@@ -242,6 +272,11 @@ class _Handler(BaseHTTPRequestHandler):
     def _handle_traces(self, query: dict) -> None:
         trace_id = query.get("id", [None])[0]
         if trace_id is not None:
+            if not _TRACE_ID_RE.match(trace_id):
+                # Distinguish "can never exist" from "already evicted":
+                # a malformed id is a caller bug, not a cache miss.
+                self._send_error(400, f"malformed trace id: {trace_id}")
+                return
             found = self.server.traces.get(trace_id)
             if found is None:
                 self._send_error(404, f"no such trace: {trace_id}")
@@ -264,6 +299,33 @@ class _Handler(BaseHTTPRequestHandler):
             for t in self.server.traces.recent(limit)
         ]
         self._send_json(200, {"traces": listing})
+
+    def _handle_workload(self, query: dict) -> None:
+        try:
+            limit = int(query.get("limit", ["50"])[0])
+        except ValueError:
+            self._send_error(400, "bad 'limit' value")
+            return
+        snap = _workload.WORKLOAD.snapshot(limit=limit)
+        snap["enabled"] = _metrics.ENABLED
+        self._send_json(200, snap)
+
+    def _handle_profile(self, query: dict) -> None:
+        try:
+            seconds = float(query.get("seconds", ["5"])[0])
+        except ValueError:
+            self._send_error(400, "bad 'seconds' value")
+            return
+        try:
+            collapsed = _sampler.profile(seconds)
+        except ValueError as error:
+            self._send_error(400, str(error))
+        except _sampler.ProfilerDisabled as error:
+            self._send_error(503, str(error))
+        except _sampler.ProfilerBusy as error:
+            self._send_error(409, str(error))
+        else:
+            self._send_text(collapsed)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         import time as _time
@@ -308,12 +370,20 @@ class _Handler(BaseHTTPRequestHandler):
             status = 503
             if _metrics.ENABLED:
                 _REJECTED.inc()
-            self._send_error(503, "server saturated, retry later")
+            payload = {"error": "server saturated, retry later"}
+            if trace is not None:
+                # The trace names the victim: its admission.wait span
+                # shows how long the request queued before rejection.
+                payload["trace_id"] = trace.trace_id
+            self._send_json(503, payload)
         except FutureTimeoutError:
             status = 504
             if _metrics.ENABLED:
                 _TIMEOUTS.inc()
-            self._send_error(504, "request deadline exceeded")
+            payload = {"error": "request deadline exceeded"}
+            if trace is not None:
+                payload["trace_id"] = trace.trace_id
+            self._send_json(504, payload)
         except (SparqltError, ValueError, TimeError) as error:
             status = 400
             self._send_error(400, str(error))

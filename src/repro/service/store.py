@@ -33,6 +33,7 @@ from ..model.time import MIN_TIME, NOW
 from ..mvbt.tree import DuplicateKeyError, MVBTConfig, TimeOrderError
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
+from ..obs import workload as _workload
 from .cache import QueryCache, normalize_query
 from .locks import ReadWriteLock, requires_writer_lock
 from .snapshot import load_snapshot, save_snapshot
@@ -78,6 +79,7 @@ class TemporalStore:
         fsync: bool = True,
         checkpoint_every: int | None = None,
         stats_refresh_threshold: int | None = 256,
+        stats_refresh_qerror: float | None = None,
         query_cache_size: int | None = 256,
         parallel: bool | None = None,
     ) -> None:
@@ -104,6 +106,7 @@ class TemporalStore:
                 self.snapshot_path, use_optimizer=use_optimizer
             )
             self.engine.stats_refresh_threshold = stats_refresh_threshold
+            self.engine.drift.qerror_threshold = stats_refresh_qerror
             snapshot_lsn = meta["last_lsn"]
         else:
             optimizer = None
@@ -114,6 +117,7 @@ class TemporalStore:
             self.engine = RDFTX(
                 config=config, optimizer=optimizer,
                 stats_refresh_threshold=stats_refresh_threshold,
+                stats_refresh_qerror=stats_refresh_qerror,
             )
             self.engine.load(TemporalGraph())
         if parallel is not None:
@@ -291,14 +295,15 @@ class TemporalStore:
         started = _time.perf_counter()
         try:
             with _trace.span("store.query"):
-                return self._query(text, profile)
+                return self._query(text, profile, started)
         finally:
             if _metrics.ENABLED:
                 _QUERY_HIST.observe(
                     (_time.perf_counter() - started) * 1000.0
                 )
 
-    def _query(self, text: str, profile: bool) -> QueryResult:
+    def _query(self, text: str, profile: bool,
+               started: float) -> QueryResult:
         cache = self._query_cache
         key: str | None = None
         generation = 0
@@ -310,6 +315,15 @@ class TemporalStore:
                 _trace.annotate_trace(cache_hit=True)
                 if _metrics.ENABLED:
                     _QUERIES.inc()
+                    # Cache hits never reach the engine, so the workload
+                    # registry is fed here (query=None: the text alone
+                    # resolves the shape via the fingerprint text cache).
+                    _workload.WORKLOAD.record_query(
+                        None, text,
+                        (_time.perf_counter() - started) * 1000.0,
+                        rows=len(hit.rows), cache_hit=True,
+                        trace_id=_trace.current_trace_id(),
+                    )
                 return hit
             generation = cache.generation
         _trace.annotate_trace(cache_hit=False)
@@ -338,6 +352,34 @@ class TemporalStore:
         if self._query_cache is None:
             return None
         return len(self._query_cache)
+
+    def storage_report(self) -> dict:
+        """Full storage-health report (``/debug/storage``, doctor).
+
+        The engine walk runs under the read lock (a concurrent writer
+        must not restructure nodes mid-walk); WAL and cache stats are
+        read lock-free afterwards — they are monotonic counters where a
+        benign race only skews a diagnostic by one in-flight update.
+        """
+        from ..obs import introspect as _introspect
+
+        with self._rw.read_locked():
+            report = _introspect.engine_report(self.engine)
+        wal = self._wal.stats()
+        wal["records_since_checkpoint"] = self._since_checkpoint
+        report["store"] = {
+            "revision": self._revision,
+            "live_facts": self.live_facts,
+            "wal": wal,
+            "result_cache": (
+                {
+                    "entries": len(self._query_cache),
+                    "capacity": self._query_cache.capacity,
+                }
+                if self._query_cache is not None else None
+            ),
+        }
+        return report
 
     # ---------------------------------------------------------- maintenance
 

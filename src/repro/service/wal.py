@@ -207,6 +207,21 @@ class WriteAheadLog:
         self._handle.flush()
         return self.path.stat().st_size
 
+    def stats(self) -> dict:
+        """Diagnostic snapshot for ``/debug/storage`` and doctor.
+
+        Deliberately lock- and flush-free so any thread can call it while
+        a writer appends: the on-disk size may trail the handle's buffer
+        by at most one unflushed frame, and the int reads race benignly.
+        """
+        return {
+            "size_bytes": self.path.stat().st_size,
+            "next_lsn": self._next_lsn,
+            "pending_records": self._pending,
+            "group_size": self.group_size,
+            "fsync": self.fsync,
+        }
+
     def __enter__(self) -> "WriteAheadLog":
         return self
 

@@ -1,0 +1,10 @@
+"""Negative RL012: cataloged bare usage; same-named non-obs imports."""
+from collections import Counter as counter_cls
+from repro.obs.metrics import counter, timer_stat
+
+_UPDATES = counter("service.store.updates")
+_QUERY_TIME = timer_stat("engine.query")
+
+
+def tally(items):
+    return counter_cls(items)  # not the obs factory

@@ -1,0 +1,9 @@
+"""Positive RL012: bare-imported factories with uncataloged names."""
+from repro.obs.metrics import counter, gauge
+
+_TYPO = counter("service.store.upates")  # typo: not cataloged
+_BAD_FORM = gauge("Process RSS!")  # malformed
+
+
+def record(name):
+    counter(name).inc()  # dynamic name: catalog cannot list it

@@ -66,6 +66,7 @@ POSITIVE_EXPECTATIONS = {
     "RL009": ("rl009_pos.py", 3),  # typo, malformed, dynamic name
     "RL010": ("rl010_pos.py", 2),  # module-level + control-flow assert
     "RL011": ("rl011_pos.py", 2),  # span.start() + span.finish()
+    "RL012": ("rl012_pos.py", 3),  # typo, malformed, dynamic name (bare)
 }
 
 NEGATIVE_FIXTURES = {
@@ -80,6 +81,7 @@ NEGATIVE_FIXTURES = {
     "RL009": ["rl009_neg.py"],
     "RL010": ["rl010_neg.py"],
     "RL011": ["rl011_neg.py"],
+    "RL012": ["rl012_neg.py"],
 }
 
 

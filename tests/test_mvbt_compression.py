@@ -129,8 +129,13 @@ class TestStoreRoundtrip:
 
 @st.composite
 def entry_lists(draw):
+    # Respect the MVBT leaf invariants the store assumes: (key, start)
+    # identifies an entry, and at most one entry per key is live —
+    # inserting a duplicate live key raises DuplicateKeyError upstream.
     n = draw(st.integers(min_value=0, max_value=40))
     out = []
+    seen = set()
+    live_keys = set()
     ts = 0
     for _ in range(n):
         ts += draw(st.integers(min_value=0, max_value=1000))
@@ -141,6 +146,12 @@ def entry_lists(draw):
             te = NOW
         else:
             te = ts + draw(st.integers(min_value=1, max_value=2**20))
+        key = (v1, v2, v3)
+        if (key, ts) in seen or (te == NOW and key in live_keys):
+            continue
+        seen.add((key, ts))
+        if te == NOW:
+            live_keys.add(key)
         out.append(entry(v1, v2, v3, ts, te))
     return out
 

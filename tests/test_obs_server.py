@@ -5,12 +5,14 @@ import http.client
 import io
 import json
 import threading
+import time
 
 import pytest
 
 from repro.model import date_to_chronon
 from repro.obs import log as obslog
 from repro.obs import metrics
+from repro.obs import workload
 from repro.service import TemporalStore, serve
 
 from tests.test_service_store import fixture_graph
@@ -142,8 +144,12 @@ class TestTraceIds:
         assert status == 200
         ids = [t["trace_id"] for t in listing["traces"]]
         assert body["trace_id"] in ids
+        # Malformed id (can never exist) vs. well-formed-but-unknown id.
         assert _json_request(service, "GET", "/debug/traces?id=nope")[0] \
-            == 404
+            == 400
+        assert _json_request(
+            service, "GET", "/debug/traces?id=abc-00ffffff"
+        )[0] == 404
 
     def test_profiled_query_still_traced(self, service):
         _, body = _json_request(service, "POST", "/query",
@@ -373,3 +379,222 @@ class TestKillSwitchOverHTTP:
                 thread.join(timeout=10)
         finally:
             metrics.set_enabled(True)
+
+
+# ------------------------------------------------------- workload endpoint
+
+
+class TestWorkloadEndpoint:
+    def test_debug_workload_lists_shapes(self, service):
+        workload.WORKLOAD.reset()
+        _json_request(service, "POST", "/query", {"query": QUERY})
+        _json_request(service, "POST", "/query", {"query": QUERY})  # hit
+        _json_request(service, "POST", "/query", {"query": JOIN_QUERY})
+        status, snap = _json_request(service, "GET", "/debug/workload")
+        assert status == 200
+        assert snap["enabled"] is True
+        assert snap["distinct_shapes"] == 2
+        assert snap["records"] == 3
+        busiest = snap["shapes"][0]
+        assert busiest["count"] == 2
+        assert busiest["cache_hit_ratio"] == 0.5
+        assert busiest["p95_ms"] >= 0
+        assert busiest["exemplar_trace_id"]
+        # The exemplar resolves to a real trace.
+        assert _json_request(
+            service, "GET",
+            f"/debug/traces?id={busiest['exemplar_trace_id']}",
+        )[0] == 200
+
+    def test_workload_respects_limit_and_bad_limit(self, service):
+        workload.WORKLOAD.reset()
+        _json_request(service, "POST", "/query", {"query": QUERY})
+        _json_request(service, "POST", "/query", {"query": JOIN_QUERY})
+        _, snap = _json_request(service, "GET", "/debug/workload?limit=1")
+        assert len(snap["shapes"]) == 1
+        assert _json_request(
+            service, "GET", "/debug/workload?limit=abc"
+        )[0] == 400
+
+    def test_workload_disabled_under_kill_switch(self, store):
+        workload.WORKLOAD.reset()
+        metrics.set_enabled(False)
+        try:
+            svc, thread = _serve(store)
+            try:
+                _json_request(svc, "POST", "/query", {"query": QUERY})
+                status, snap = _json_request(svc, "GET", "/debug/workload")
+                assert status == 200
+                assert snap["enabled"] is False
+                assert snap["shapes"] == []
+            finally:
+                svc.shutdown()
+                thread.join(timeout=10)
+        finally:
+            metrics.set_enabled(True)
+
+
+# -------------------------------------------------------- storage endpoint
+
+
+class TestStorageEndpoint:
+    def test_debug_storage_reports_health(self, service):
+        status, report = _json_request(service, "GET", "/debug/storage")
+        assert status == 200
+        assert set(report["indexes"]) == {"spo", "sop", "pos", "ops"}
+        spo = report["indexes"]["spo"]
+        assert spo["depth"] >= 1
+        assert spo["leaves"] >= 1
+        assert 0.0 < spo["live_ratio"] <= 1.0
+        assert spo["compression_ratio"] > 0
+        assert report["dictionary"]["terms"] > 0
+        assert report["store"]["wal"]["next_lsn"] >= 1
+        assert "records_since_checkpoint" in report["store"]["wal"]
+        assert report["total_size_bytes"] > 0
+
+
+# -------------------------------------------------------- profile endpoint
+
+
+class TestProfileEndpoint:
+    def test_debug_profile_collects_stacks_under_load(self, service):
+        stop = threading.Event()
+
+        def load():
+            while not stop.is_set():
+                _json_request(service, "POST", "/query", {"query": QUERY})
+
+        thread = threading.Thread(target=load, daemon=True)
+        thread.start()
+        try:
+            status, raw = _request(
+                service, "GET", "/debug/profile?seconds=0.3"
+            )
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+        assert status == 200
+        text = raw.decode("utf-8")
+        assert text.strip()
+        stack, count = text.splitlines()[0].rsplit(" ", 1)
+        assert int(count) >= 1
+        assert ";" in stack or ":" in stack
+
+    def test_profile_rejects_bad_seconds(self, service):
+        assert _request(
+            service, "GET", "/debug/profile?seconds=0"
+        )[0] == 400
+        assert _request(
+            service, "GET", "/debug/profile?seconds=abc"
+        )[0] == 400
+        assert _request(
+            service, "GET", "/debug/profile?seconds=9999"
+        )[0] == 400
+
+    def test_profile_disabled_under_kill_switch(self, store):
+        metrics.set_enabled(False)
+        try:
+            svc, thread = _serve(store)
+            try:
+                assert _request(
+                    svc, "GET", "/debug/profile?seconds=0.1"
+                )[0] == 503
+            finally:
+                svc.shutdown()
+                thread.join(timeout=10)
+        finally:
+            metrics.set_enabled(True)
+
+
+# ------------------------------------------------------ error-path trace ids
+
+
+class TestErrorTraceIds:
+    def test_timeout_response_carries_trace_id(self, store):
+        original = store.query
+
+        def slow_query(text, profile=False):
+            time.sleep(0.5)
+            return original(text, profile)
+
+        store.query = slow_query
+        svc = serve(store, port=0, max_inflight=4, request_timeout=0.05)
+        thread = threading.Thread(target=svc.serve_forever, daemon=True)
+        thread.start()
+        try:
+            status, body = _json_request(svc, "POST", "/query",
+                                         {"query": QUERY})
+            assert status == 504
+            assert body["trace_id"]
+        finally:
+            store.query = original
+            svc.shutdown()
+            thread.join(timeout=10)
+
+    def test_rejection_response_carries_trace_id(self, store):
+        original = store.query
+        entered = threading.Event()
+        release = threading.Event()
+
+        def blocking_query(text, profile=False):
+            entered.set()
+            release.wait(timeout=10)
+            return original(text, profile)
+
+        store.query = blocking_query
+        svc = serve(store, port=0, max_inflight=1,
+                    admission_timeout=0.01, request_timeout=30.0)
+        thread = threading.Thread(target=svc.serve_forever, daemon=True)
+        thread.start()
+        try:
+            hog = threading.Thread(
+                target=_json_request,
+                args=(svc, "POST", "/query", {"query": QUERY}),
+                daemon=True,
+            )
+            hog.start()
+            # Only probe once the hog provably holds the single slot —
+            # otherwise the probe can win the race and block instead.
+            assert entered.wait(timeout=5)
+            status, body = _json_request(svc, "POST", "/query",
+                                         {"query": QUERY})
+            assert status == 503
+            assert body["trace_id"]
+        finally:
+            release.set()
+            store.query = original
+            svc.shutdown()
+            thread.join(timeout=10)
+
+
+# -------------------------------------------------------- process metrics
+
+
+class TestProcessMetrics:
+    def test_healthz_reports_uptime_and_rss(self, service):
+        status, body = _json_request(service, "GET", "/healthz")
+        assert status == 200
+        assert body["uptime_seconds"] > 0
+        # rss may be None off Linux; when present it is plausible.
+        if body["rss_bytes"] is not None:
+            assert body["rss_bytes"] > 1024 * 1024
+
+    def test_prometheus_has_help_and_process_gauges(self, service):
+        _, raw = _request(service, "GET", "/metrics",
+                          headers={"Accept": "text/plain"})
+        text = raw.decode("utf-8")
+        assert ("# HELP repro_service_server_requests_total "
+                "HTTP requests received") in text
+        assert "# TYPE repro_process_uptime_seconds gauge" in text
+        assert "repro_process_uptime_seconds" in text
+        assert "repro_process_rss_bytes" in text
+
+    def test_prometheus_renders_zero_valued_catalog_series(self):
+        # A fresh registry has registered nothing; every cataloged series
+        # must still render (zero-valued) so scrapes are shape-stable.
+        fresh = metrics.Registry()
+        text = fresh.render_prometheus()
+        assert "repro_service_wal_syncs_total 0" in text
+        assert "# HELP repro_engine_queries_total" in text
+        assert "repro_optimizer_drift_median_qerror 0" in text
+        assert 'repro_service_store_query_ms_bucket{le="+Inf"} 0' in text

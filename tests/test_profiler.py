@@ -1,0 +1,95 @@
+"""The on-demand wall-clock sampling profiler."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.sampler import (
+    MAX_SECONDS,
+    ProfilerBusy,
+    ProfilerDisabled,
+    SamplingProfiler,
+    profile,
+)
+
+
+def _burn(stop):
+    while not stop.is_set():
+        sum(i * i for i in range(200))
+
+
+@pytest.fixture()
+def busy_thread():
+    stop = threading.Event()
+    thread = threading.Thread(target=_burn, args=(stop,), daemon=True)
+    thread.start()
+    yield
+    stop.set()
+    thread.join(timeout=5)
+
+
+def test_profile_sees_the_busy_thread(busy_thread):
+    collapsed = profile(0.25, interval=0.005)
+    assert collapsed.strip()
+    assert "test_profiler:_burn" in collapsed
+    heaviest = collapsed.splitlines()[0]
+    stack, count = heaviest.rsplit(" ", 1)
+    assert int(count) >= 1
+    # Root-first stacks: the thread bootstrap comes before the leaf.
+    frames = stack.split(";")
+    assert len(frames) >= 2
+
+
+def test_profiler_excludes_its_own_thread():
+    # With no other threads running Python code, the sampler may still
+    # see pytest's machinery — but never its own collect() frames.
+    collapsed = profile(0.05, interval=0.005)
+    assert "sampler:collect" not in collapsed
+
+
+def test_counts_accumulate(busy_thread):
+    sampler = SamplingProfiler(interval=0.005)
+    sampler.collect(0.1)
+    assert sampler.samples >= 1
+    text = sampler.collapsed()
+    total = sum(int(line.rsplit(" ", 1)[1]) for line in text.splitlines())
+    assert total == sampler.samples
+
+
+def test_single_concurrent_profile(busy_thread):
+    results = []
+
+    def run():
+        try:
+            results.append(profile(0.3, interval=0.01))
+        except ProfilerBusy:
+            results.append(ProfilerBusy)
+
+    first = threading.Thread(target=run)
+    first.start()
+    time.sleep(0.05)  # let the first profile take the slot
+    with pytest.raises(ProfilerBusy):
+        profile(0.1)
+    first.join(timeout=10)
+    assert len(results) == 1
+    assert results[0] is not ProfilerBusy
+
+
+def test_rejects_out_of_range_durations():
+    with pytest.raises(ValueError):
+        profile(0.0)
+    with pytest.raises(ValueError):
+        profile(MAX_SECONDS + 1)
+    with pytest.raises(ValueError):
+        SamplingProfiler(interval=0.0)
+
+
+def test_disabled_by_kill_switch():
+    metrics.set_enabled(False)
+    try:
+        with pytest.raises(ProfilerDisabled):
+            profile(0.1)
+    finally:
+        metrics.set_enabled(True)
