@@ -18,6 +18,11 @@ Measures four configurations of the durable serving layer
   and a write mix, once with full tracing (sample rate 1.0) and once
   with the ``REPRO_OBS`` kill switch engaged; median/p95/p99 land in the
   machine-readable ``bench_results/BENCH_obs.json``.
+* **cluster scaling** — concurrent read throughput against
+  :class:`~repro.cluster.ClusterStore` at 1, 2 and 4 shards versus the
+  single-process store, result caches disabled on both sides so the
+  numbers measure scan parallelism rather than cache hits; lands in
+  ``bench_results/BENCH_cluster.json``.
 
 Run directly (no pytest needed)::
 
@@ -60,6 +65,9 @@ WRITES = scaled(int(os.environ.get("SERVE_BENCH_WRITES", "2000")))
 READERS = int(os.environ.get("SERVE_BENCH_READERS", "4"))
 MIX_REQUESTS = scaled(int(os.environ.get("SERVE_BENCH_MIX", "600")))
 OBS_REQUESTS = scaled(int(os.environ.get("SERVE_BENCH_OBS", "400")))
+CLUSTER_READS = scaled(int(os.environ.get("SERVE_BENCH_CLUSTER", "800")))
+CLUSTER_READERS = int(os.environ.get("SERVE_BENCH_CLUSTER_READERS", "8"))
+CLUSTER_SHARD_COUNTS = (1, 2, 4)
 HOT_PER_TEN = 7  # 70% of mix requests repeat the hot query set
 
 
@@ -309,6 +317,105 @@ def bench_obs_latency() -> dict:
     return payload
 
 
+def _concurrent_reads(store, queries, reads, readers) -> tuple[float, int]:
+    """``reads`` queries over ``readers`` threads against any store."""
+    per_thread = reads // readers
+    barrier = threading.Barrier(readers + 1)
+    done = threading.Barrier(readers + 1)
+
+    def reader(offset):
+        barrier.wait()
+        for i in range(per_thread):
+            store.query(queries[(offset + i) % len(queries)])
+        done.wait()
+
+    threads = [
+        threading.Thread(target=reader, args=(k,)) for k in range(readers)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    start = time.perf_counter()
+    done.wait()
+    elapsed = time.perf_counter() - start
+    for t in threads:
+        t.join()
+    return elapsed, per_thread * readers
+
+
+def bench_cluster_scaling() -> tuple[dict, list]:
+    """Read throughput: single-process baseline vs 1/2/4-shard clusters.
+
+    Result caches are off on every side — a cache-hit bench would only
+    measure the coordinator's socket hop.  The single process serializes
+    query evaluation on the GIL, so shard processes are where the added
+    throughput comes from; replicas are omitted to keep the comparison
+    about sharding alone.
+    """
+    from repro.cluster import ClusterStore
+
+    graph = wikipedia.generate(TRIPLES, seed=7).graph
+    # Unbound-subject selections: these scatter to every shard, the
+    # shape sharding is supposed to speed up.
+    queries = [
+        q for q in selection_queries(graph, count=16) if "{?s " in q
+    ] or selection_queries(graph, count=8)
+    rows = []
+    payload = {
+        "triples": TRIPLES,
+        "reads": CLUSTER_READS,
+        "readers": CLUSTER_READERS,
+        # Shard scaling is process parallelism: with fewer cores than
+        # shards the workers time-slice one CPU and the coordinator hop
+        # is pure overhead.  Recorded so results are interpretable.
+        "cpus": os.cpu_count(),
+        "topologies": {},
+    }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = TemporalStore(os.path.join(tmp, "base"),
+                              query_cache_size=None)
+        with store:
+            store.load_dataset(graph)
+            elapsed, ops = _concurrent_reads(
+                store, queries, CLUSTER_READS, CLUSTER_READERS
+            )
+        baseline = ops / elapsed if elapsed else float("inf")
+        payload["topologies"]["single_process"] = {
+            "ops": ops, "seconds": round(elapsed, 4),
+            "ops_per_sec": round(baseline, 2),
+        }
+        rows.append(("cluster baseline (1 process)", ops, elapsed))
+
+    for shards in CLUSTER_SHARD_COUNTS:
+        with tempfile.TemporaryDirectory() as tmp:
+            with ClusterStore(os.path.join(tmp, "clu"), shards=shards,
+                              fsync=False,
+                              query_cache_size=None) as cluster:
+                cluster.load_dataset(graph)
+                elapsed, ops = _concurrent_reads(
+                    cluster, queries, CLUSTER_READS, CLUSTER_READERS
+                )
+        rate = ops / elapsed if elapsed else float("inf")
+        payload["topologies"]["shards_%d" % shards] = {
+            "ops": ops, "seconds": round(elapsed, 4),
+            "ops_per_sec": round(rate, 2),
+            "speedup_vs_single_process": round(
+                rate / baseline if baseline else float("inf"), 3
+            ),
+        }
+        rows.append(("cluster reads (%d shards)" % shards, ops, elapsed))
+
+    payload["speedup_4_shards"] = payload["topologies"].get(
+        "shards_4", {}
+    ).get("speedup_vs_single_process")
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "BENCH_cluster.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    return payload, rows
+
+
 def main() -> int:
     rows = []
 
@@ -382,6 +489,9 @@ def main() -> int:
         % (on, off, off / on if on else float("inf"))
     )
 
+    cluster_payload, cluster_rows = bench_cluster_scaling()
+    rows.extend(cluster_rows)
+
     obs = bench_obs_latency()
     obs_lines = []
     for mix, data in obs["mixes"].items():
@@ -395,8 +505,13 @@ def main() -> int:
                 data["tracing_off"]["p95_ms"],
             )
         )
+    cluster_line = (
+        "cluster scaling: 4-shard speedup vs single process = %sx"
+        % cluster_payload.get("speedup_4_shards")
+    )
     report("serve_throughput",
-           table + "\n" + summary + "\n" + "\n".join(obs_lines))
+           table + "\n" + summary + "\n" + cluster_line + "\n"
+           + "\n".join(obs_lines))
     return 0
 
 

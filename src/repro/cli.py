@@ -9,6 +9,7 @@ Subcommands::
     repro-tx generate KIND N OUT.tnq       write a synthetic dataset
     repro-tx snapshot DATASET.tnq OUT      compile a dataset to a snapshot
     repro-tx serve DIR                     durable HTTP SPARQLT endpoint
+    repro-tx cluster-status URL            cluster topology and health
     repro-tx doctor TARGET                 storage health report
     repro-tx lint [PATHS…]                 project-specific static analysis
 
@@ -156,6 +157,25 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("debug", "info", "warning", "error"),
                        help="structured-log threshold; 'info' turns on "
                             "per-request access lines (default: warning)")
+    serve.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="run a sharded cluster of N worker processes "
+                            "behind the HTTP endpoint (0 = single-process "
+                            "standalone store; default 0)")
+    serve.add_argument("--replicas", type=int, default=0, metavar="M",
+                       help="WAL-shipped read replicas per shard "
+                            "(requires --shards; default 0)")
+
+    cluster_status = sub.add_parser(
+        "cluster-status",
+        help="topology and per-member health of a running cluster "
+             "(reads /healthz)",
+    )
+    cluster_status.add_argument(
+        "url", nargs="?", default="http://127.0.0.1:8094",
+        help="base URL of the serving endpoint "
+             "(default http://127.0.0.1:8094)")
+    cluster_status.add_argument("--json", action="store_true",
+                                help="emit the raw /healthz payload")
 
     doctor = sub.add_parser(
         "doctor",
@@ -388,6 +408,11 @@ def cmd_serve(args) -> int:
     from .service.store import TemporalStore
 
     _obslog.set_level(args.log_level)
+    if args.replicas and not args.shards:
+        print("error: --replicas requires --shards", file=sys.stderr)
+        return 1
+    if args.shards:
+        return _serve_cluster(args)
     store = TemporalStore(
         args.directory,
         use_optimizer=not args.no_optimizer,
@@ -431,6 +456,106 @@ def cmd_serve(args) -> int:
             service.shutdown()
     finally:
         store.close()
+    return 0
+
+
+def _serve_cluster(args) -> int:
+    """``serve --shards N [--replicas M]``: coordinator + worker fleet."""
+    from .cluster import ClusterStore
+    from .service.server import serve
+    from .service.snapshot import is_snapshot
+
+    store = ClusterStore(
+        args.directory,
+        shards=args.shards,
+        replicas=args.replicas,
+        use_optimizer=not args.no_optimizer,
+        group_size=args.group_commit,
+        fsync=not args.no_fsync,
+        query_cache_size=args.query_cache or None,
+        parallel=True if args.parallel else None,
+    )
+    try:
+        if args.data:
+            if is_snapshot(args.data):
+                # Snapshots hold one process's compressed indexes; a
+                # cluster load needs raw triples to partition by subject.
+                print("error: --data with --shards needs a temporal "
+                      "N-Quads dataset, not a snapshot", file=sys.stderr)
+                return 1
+            if store.revision != 0:
+                print(f"error: --data given but {args.directory} is not "
+                      f"empty (revision {store.revision})", file=sys.stderr)
+                return 1
+            print(f"loading {args.data} ...")
+            store.load_dataset(tio.load_graph(args.data))
+            print(f"loaded {store.live_facts} live facts across "
+                  f"{args.shards} shard(s)")
+        service = serve(
+            store, host=args.host, port=args.port,
+            max_inflight=args.workers,
+            request_timeout=args.request_timeout,
+            trace_sample=args.trace_sample,
+            slow_ms=args.slow_ms,
+            trace_capacity=args.trace_buffer,
+            role="coordinator",
+        )
+        print(f"serving {args.directory} on http://{args.host}:"
+              f"{service.port} ({args.shards} shard(s), "
+              f"{args.replicas} replica(s) each, "
+              f"watermark {store.revision})")
+        try:
+            service.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down")
+        finally:
+            service.shutdown()
+    finally:
+        store.close()
+    return 0
+
+
+def cmd_cluster_status(args) -> int:
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    url = args.url.rstrip("/") + "/healthz"
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            payload = _json.loads(response.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError) as error:
+        print(f"error: cannot read {url}: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(payload, indent=2))
+        return 0
+    role = payload.get("role", "standalone")
+    print(f"role:      {role}")
+    print(f"revision:  {payload.get('revision')}")
+    print(f"live:      {payload.get('live_facts')}")
+    cluster = payload.get("cluster")
+    if cluster is None:
+        print("(not a cluster coordinator: no topology section)")
+        return 0
+    print(f"shards:    {cluster['shards']} "
+          f"(+{cluster['replicas_per_shard']} replica(s) each)")
+    print(f"watermark: {cluster['watermark']}")
+    for member in cluster["members"]:
+        primary = member["primary"]
+        state = "up" if primary.get("alive") else "DOWN"
+        line = (f"  shard {member['shard']}: primary pid "
+                f"{primary.get('pid')} {state}")
+        if primary.get("alive"):
+            line += (f", lsn {primary.get('applied_lsn')}, "
+                     f"{primary.get('live_facts')} live")
+        print(line)
+        for index, replica in enumerate(member["replicas"]):
+            state = "up" if replica.get("alive") else "DOWN"
+            line = f"    replica {index}: pid {replica.get('pid')} {state}"
+            if replica.get("alive"):
+                line += f", lsn {replica.get('applied_lsn')}"
+            print(line)
     return 0
 
 
@@ -484,6 +609,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": cmd_generate,
         "snapshot": cmd_snapshot,
         "serve": cmd_serve,
+        "cluster-status": cmd_cluster_status,
         "doctor": cmd_doctor,
         "lint": cmd_lint,
     }[args.command]

@@ -1,0 +1,30 @@
+"""Sharded multi-process execution with WAL-shipped read replicas.
+
+The single-process serving stack (:mod:`repro.service`) is GIL-bound: the
+PR 4 thread-pool scans overlap I/O but not Python execution, so HTTP read
+throughput tops out near one core.  This package scales *out* instead of
+up, on one box or many:
+
+* :mod:`repro.cluster.planner` — hash-partitions triples on subject
+  across N shared-nothing shards (predicate fallback for unbound-subject
+  patterns), deterministically (``crc32``, never the salted ``hash()``).
+* :mod:`repro.cluster.worker` — one process per shard (and per replica),
+  each running its own full :class:`~repro.service.store.TemporalStore`
+  (engine + WAL + snapshots) behind a length-prefixed socket protocol.
+* :mod:`repro.cluster.coordinator` — the router the HTTP server fronts:
+  scatters pattern scans, gathers and joins partial bindings with the
+  engine's own streaming operators, routes writes to the owning shard
+  under a cluster-wide revision watermark, and promotes replicas when a
+  shard dies.
+* :mod:`repro.cluster.executor` — the distributed query algebra
+  (single-shard fast path vs. per-pattern scatter/gather).
+
+Replication ships WAL records from each primary to its followers
+(:meth:`~repro.service.wal.WriteAheadLog.read_from` tailing); followers
+serve revision-pinned reads and take over on worker death.
+"""
+
+from .coordinator import ClusterStore
+from .planner import ShardPlanner, shard_of
+
+__all__ = ["ClusterStore", "ShardPlanner", "shard_of"]

@@ -1,0 +1,701 @@
+"""The cluster coordinator: spawn, route, gather, fail over.
+
+:class:`ClusterStore` duck-types :class:`~repro.service.store.TemporalStore`
+(``query`` / ``insert`` / ``delete`` / ``checkpoint`` / ``revision`` /
+``live_facts`` / ``storage_report`` / ``close``), so the existing HTTP
+server fronts a cluster without changing a single handler.
+
+Topology: N shard primaries plus M replicas each, all spawned worker
+processes (``spawn`` context — a fork would clone live thread-pool and
+lock state) with directories laid out under the coordinator's own::
+
+    dir/shard-0/            primary for shard 0
+    dir/shard-0-replica-0/  its first follower
+    dir/shard-1/            ...
+
+Consistency model — single coordinator, single writer per shard:
+
+* Writes route to the subject's owner shard; the **cluster revision
+  watermark** is the sum of per-shard applied LSNs, bumped under the
+  coordinator's writer lock, so it is monotonic and every read reports
+  the watermark it executed under.
+* A cluster-wide **time watermark** totally orders update chronons
+  across shards (each shard alone would only enforce its local maximum,
+  letting history interleave inconsistently between shards).
+* Reads prefer a replica (round-robin) when one is attached, pinned by
+  ``min_lsn`` — a follower still behind the shard's acked LSN refuses
+  with ``lagging`` and the read falls back to the primary, so replica
+  reads are never stale relative to acknowledged writes.
+* On a dead primary (connection failure), the coordinator promotes the
+  freshest replica — which performs final catch-up from the dead
+  primary's on-disk WAL — reroutes, and retries the one failed call.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+import threading
+import time as _time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from ..engine.engine import QueryResult
+from ..model.time import MIN_TIME, NOW, TimeError
+from ..mvbt.tree import DuplicateKeyError, TimeOrderError
+from ..obs import log as _obslog
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+from ..service.store import StoreError, TemporalStore
+from ..sparqlt.ast import Query
+from ..sparqlt.parser import parse
+from . import executor as _dist
+from . import protocol
+from .planner import ShardPlanner
+from .protocol import (
+    KIND_BAD_REQUEST,
+    KIND_CONFLICT_DUPLICATE,
+    KIND_CONFLICT_MISSING,
+    KIND_CONFLICT_TIME,
+    KIND_LAGGING,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
+from .worker import WorkerConfig, worker_main
+
+_QUERIES = _metrics.counter("cluster.coordinator.queries")
+_UPDATES = _metrics.counter("cluster.coordinator.updates")
+_SINGLE_SHARD = _metrics.counter("cluster.coordinator.single_shard")
+_SCATTER = _metrics.counter("cluster.coordinator.scatter_scans")
+_FAILOVERS = _metrics.counter("cluster.coordinator.failovers")
+_RPC_ERRORS = _metrics.counter("cluster.coordinator.rpc_errors")
+_REPLICA_READS = _metrics.counter("cluster.coordinator.replica_reads")
+_REPLICA_LAGGING = _metrics.counter("cluster.coordinator.replica_lagging")
+_WATERMARK = _metrics.gauge("cluster.coordinator.watermark")
+_SHARDS_ALIVE = _metrics.gauge("cluster.coordinator.shards_alive")
+_RPC_HIST = _metrics.histogram("cluster.coordinator.rpc_ms")
+
+#: kind -> exception raised coordinator-side, mirroring the worker's
+#: mapping so HTTP status codes (400/409) come out as in single-process.
+_KIND_ERRORS = {
+    KIND_BAD_REQUEST: ValueError,
+    KIND_CONFLICT_DUPLICATE: DuplicateKeyError,
+    KIND_CONFLICT_MISSING: KeyError,
+    KIND_CONFLICT_TIME: TimeOrderError,
+}
+
+
+class ShardDown(StoreError):
+    """A shard has no live primary and no promotable replica."""
+
+
+class ReplicaLagging(Exception):
+    """Internal: a replica refused a read pinned past its applied LSN."""
+
+
+class ShardClient:
+    """A pooled socket client for one worker process."""
+
+    def __init__(self, address: tuple[str, int], pid: int,
+                 directory: Path, timeout: float = 30.0) -> None:
+        self.address = address
+        self.pid = pid
+        self.directory = directory
+        self.timeout = timeout
+        self._idle: list[socket.socket] = []
+        self._lock = threading.Lock()
+        self.alive = True
+
+    def rpc(self, payload: dict, timeout: float | None = None) -> dict:
+        """Send one request, raise the mapped exception on error replies.
+
+        Connection-level failures (``OSError`` / :class:`ProtocolError`)
+        propagate raw — the caller decides between retry, failover and
+        surfacing.
+        """
+        sock = self._checkout()
+        try:
+            if timeout is not None:
+                sock.settimeout(timeout)
+            send_message(sock, payload)
+            response = recv_message(sock)
+        except (OSError, ProtocolError):
+            self._discard(sock)
+            raise
+        if timeout is not None:
+            sock.settimeout(self.timeout)
+        self._checkin(sock)
+        if response.get("ok"):
+            return response
+        kind = response.get("kind")
+        message = response.get("error", "worker error")
+        if kind == KIND_LAGGING:
+            raise ReplicaLagging(message)
+        raise _KIND_ERRORS.get(kind, StoreError)(message)
+
+    def _checkout(self) -> socket.socket:
+        with self._lock:
+            if self._idle:
+                return self._idle.pop()
+        sock = socket.create_connection(self.address, timeout=self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _checkin(self, sock: socket.socket) -> None:
+        with self._lock:
+            self._idle.append(sock)
+
+    def _discard(self, sock: socket.socket) -> None:
+        try:
+            sock.close()
+        except OSError:
+            pass  # already dead; nothing held open
+
+    def close(self) -> None:
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for sock in idle:
+            self._discard(sock)
+        self.alive = False
+
+
+class _Member:
+    """One shard's primary plus its surviving replicas."""
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.primary: ShardClient | None = None
+        self.replicas: list[ShardClient] = []
+        #: last LSN acknowledged by the primary (pins replica reads).
+        self.acked_lsn = 0
+        self._rr = 0
+
+    def next_replica(self) -> ShardClient | None:
+        live = [r for r in self.replicas if r.alive]
+        if not live:
+            return None
+        self._rr = (self._rr + 1) % len(live)
+        return live[self._rr]
+
+
+class ClusterStore:
+    """Sharded, replicated drop-in for :class:`TemporalStore`.
+
+    ``shards=1, replicas=0`` is a useful degenerate topology: every query
+    takes the single-shard fast path, which is exactly how the golden
+    tests pin 1-shard vs N-shard byte-identity.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        shards: int,
+        replicas: int = 0,
+        use_optimizer: bool = True,
+        group_size: int = 32,
+        fsync: bool = True,
+        query_cache_size: int | None = 256,
+        parallel: bool | None = None,
+        rpc_timeout: float = 30.0,
+        start_timeout: float = 60.0,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if replicas < 0:
+            raise ValueError(f"replicas must be >= 0, got {replicas}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.planner = ShardPlanner(shards)
+        self.replicas_per_shard = replicas
+        self._rpc_timeout = rpc_timeout
+        self._start_timeout = start_timeout
+        self._worker_kwargs = dict(
+            use_optimizer=use_optimizer,
+            group_size=group_size,
+            fsync=fsync,
+            query_cache_size=query_cache_size,
+            parallel=parallel,
+        )
+        self._ctx = multiprocessing.get_context("spawn")
+        self._procs: list = []
+        self._members: list[_Member] = []
+        #: serializes writes (and the watermark/time-watermark bumps).
+        self._writer = threading.Lock()
+        self._closed = False
+        self._scatter_pool = ThreadPoolExecutor(
+            max_workers=max(4, 2 * shards),
+            thread_name_prefix="repro-scatter",
+        )
+        self._spawn_topology()
+        self._bootstrap_watermarks()
+
+    # ------------------------------------------------------------- topology
+
+    def _shard_dir(self, shard_id: int) -> Path:
+        return self.directory / f"shard-{shard_id}"
+
+    def _replica_dir(self, shard_id: int, index: int) -> Path:
+        return self.directory / f"shard-{shard_id}-replica-{index}"
+
+    def _spawn_topology(self) -> None:
+        for shard_id in range(self.planner.shards):
+            member = _Member(shard_id)
+            member.primary = self._spawn_worker(WorkerConfig(
+                shard_id=shard_id, role="shard",
+                directory=str(self._shard_dir(shard_id)),
+                **self._worker_kwargs,
+            ))
+            self._members.append(member)
+        for shard_id, member in enumerate(self._members):
+            for index in range(self.replicas_per_shard):
+                member.replicas.append(self._spawn_worker(WorkerConfig(
+                    shard_id=shard_id, role="replica",
+                    directory=str(self._replica_dir(shard_id, index)),
+                    primary_address=member.primary.address,
+                    primary_directory=str(self._shard_dir(shard_id)),
+                    replica_index=index,
+                    **self._worker_kwargs,
+                )))
+        if _metrics.ENABLED:
+            _SHARDS_ALIVE.set(self.planner.shards)
+
+    def _spawn_worker(self, config: WorkerConfig) -> ShardClient:
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=worker_main, args=(config, child), daemon=True,
+            name=f"repro-{config.role}-{config.shard_id}",
+        )
+        proc.start()
+        child.close()
+        if not parent.poll(self._start_timeout):
+            proc.terminate()
+            raise StoreError(
+                f"worker for shard {config.shard_id} ({config.role}) did "
+                f"not report ready within {self._start_timeout}s"
+            )
+        info = parent.recv()
+        parent.close()
+        self._procs.append(proc)
+        return ShardClient(
+            ("127.0.0.1", info["port"]), info["pid"],
+            Path(config.directory), timeout=self._rpc_timeout,
+        )
+
+    def _bootstrap_watermarks(self) -> None:
+        """Adopt revision/time state from pre-existing shard directories."""
+        self._watermark = 0
+        self._time_watermark = MIN_TIME
+        self._horizon = 1
+        for member in self._members:
+            status = member.primary.rpc({"op": "status"})
+            member.acked_lsn = status["revision"]
+            self._watermark += status["revision"]
+            self._horizon = max(self._horizon, status["horizon"])
+        self._time_watermark = max(MIN_TIME, self._horizon - 1)
+        if _metrics.ENABLED:
+            _WATERMARK.set(self._watermark)
+
+    # ------------------------------------------------------------- failover
+
+    def _rpc_primary(self, member: _Member, payload: dict,
+                     timeout: float | None = None) -> dict:
+        """RPC to a shard's primary, promoting a replica on a dead one."""
+        started = _time.perf_counter()
+        try:
+            with _trace.span("cluster.rpc", shard=member.shard_id,
+                             op=payload.get("op")):
+                return member.primary.rpc(payload, timeout=timeout)
+        except (OSError, ProtocolError) as error:
+            if _metrics.ENABLED:
+                _RPC_ERRORS.inc()
+            self._failover(member, error)
+            with _trace.span("cluster.rpc.retry", shard=member.shard_id,
+                             op=payload.get("op")):
+                return member.primary.rpc(payload, timeout=timeout)
+        finally:
+            if _metrics.ENABLED:
+                _RPC_HIST.observe(
+                    (_time.perf_counter() - started) * 1000.0
+                )
+
+    def _failover(self, member: _Member, cause: Exception) -> None:
+        """Promote a replica of ``member`` to primary (or give up)."""
+        dead = member.primary
+        dead.close()
+        wal_path = str(dead.directory / TemporalStore.WAL_NAME)
+        _obslog.LOGGER.warning(
+            "cluster_failover", shard=member.shard_id, cause=str(cause),
+            dead_pid=dead.pid,
+        )
+        while member.replicas:
+            candidate = member.replicas.pop(0)
+            try:
+                candidate.rpc(
+                    {"op": "promote", "wal_path": wal_path}, timeout=30.0
+                )
+            except (OSError, ProtocolError) as error:
+                _obslog.LOGGER.warning(
+                    "cluster_promote_failed", shard=member.shard_id,
+                    error=str(error),
+                )
+                candidate.close()
+                continue
+            member.primary = candidate
+            if _metrics.ENABLED:
+                _FAILOVERS.inc()
+            _obslog.LOGGER.warning(
+                "cluster_promoted", shard=member.shard_id,
+                new_pid=candidate.pid,
+            )
+            return
+        if _metrics.ENABLED:
+            _SHARDS_ALIVE.set(
+                sum(1 for m in self._members if m.primary.alive)
+            )
+        raise ShardDown(
+            f"shard {member.shard_id} is down and no replica could be "
+            f"promoted"
+        ) from cause
+
+    def _rpc_read(self, member: _Member, payload: dict) -> dict:
+        """A read RPC: replica round-robin with primary fallback.
+
+        ``min_lsn`` pins the read to the shard's acked LSN; a lagging
+        follower refuses and the primary serves instead, so replica
+        reads observe every acknowledged write.
+        """
+        payload = dict(payload)
+        payload["min_lsn"] = member.acked_lsn
+        trace_id = _trace.current_trace_id()
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
+        replica = member.next_replica()
+        if replica is not None:
+            try:
+                response = replica.rpc(payload)
+                if _metrics.ENABLED:
+                    _REPLICA_READS.inc()
+                return response
+            except ReplicaLagging:
+                if _metrics.ENABLED:
+                    _REPLICA_LAGGING.inc()
+            except (OSError, ProtocolError) as error:
+                _obslog.LOGGER.warning(
+                    "cluster_replica_dead", shard=member.shard_id,
+                    error=str(error),
+                )
+                replica.close()
+                member.replicas = [
+                    r for r in member.replicas if r is not replica
+                ]
+        return self._rpc_primary(member, payload)
+
+    # -------------------------------------------------------------- queries
+
+    def query(self, text, profile: bool = False) -> QueryResult:
+        """Evaluate a query across the cluster.
+
+        Results are canonically sorted (see
+        :func:`repro.cluster.executor.canonical_sort`) on both paths, so
+        the same query over the same data is byte-identical regardless of
+        shard count or which members served the scans.  ``profile`` is
+        accepted for interface parity but profiles are per-process; the
+        coordinator does not stitch shard-side operator trees.
+        """
+        if self._closed:
+            raise StoreError("store is closed")
+        if _metrics.ENABLED:
+            _QUERIES.inc()
+        with _trace.span("cluster.query"):
+            query = parse(text) if isinstance(text, str) else text
+            target = _dist.whole_query_shard(query, self.planner)
+            watermark = self._watermark
+            if target is not None:
+                if _metrics.ENABLED:
+                    _SINGLE_SHARD.inc()
+                response = self._rpc_read(self._members[target], {
+                    "op": "query",
+                    "text": text if isinstance(text, str) else None,
+                    "horizon": self._horizon,
+                } if isinstance(text, str) else {
+                    "op": "scan",
+                    "query": protocol.encode_query(query),
+                    "horizon": self._horizon,
+                })
+                rows = [
+                    protocol.decode_row(row) for row in response["rows"]
+                ]
+                rows = _dist.canonical_sort(rows, response["variables"])
+                result = QueryResult(
+                    variables=response["variables"], rows=rows
+                )
+            else:
+                rows = _dist.distributed_query(
+                    query, self.planner, self._scatter_many, self._horizon
+                )
+                result = QueryResult(variables=query.select, rows=rows)
+            result.revision = watermark
+            return result
+
+    def _scatter_many(
+        self, requests: list[tuple[Query, list[int]]]
+    ) -> list[list[dict]]:
+        """Fan every (sub-query, shards) request out concurrently."""
+        futures = []
+        for sub, shard_ids in requests:
+            if _metrics.ENABLED:
+                _SCATTER.inc(len(shard_ids))
+            payload = {
+                "op": "scan",
+                "query": protocol.encode_query(sub),
+                "horizon": self._horizon,
+            }
+            futures.append([
+                _trace.submit(
+                    self._scatter_pool, self._rpc_read,
+                    self._members[shard_id], payload,
+                )
+                for shard_id in shard_ids
+            ])
+        gathered: list[list[dict]] = []
+        for group in futures:
+            rows: list[dict] = []
+            for future in group:
+                response = future.result()
+                rows.extend(
+                    protocol.decode_row(row) for row in response["rows"]
+                )
+            gathered.append(rows)
+        return gathered
+
+    # -------------------------------------------------------------- updates
+
+    def insert(self, subject: str, predicate: str, object: str,
+               time: int) -> int:
+        return self._update("insert", subject, predicate, object, time)
+
+    def delete(self, subject: str, predicate: str, object: str,
+               time: int) -> int:
+        return self._update("delete", subject, predicate, object, time)
+
+    def _update(self, op: str, subject: str, predicate: str, object: str,
+                time: int) -> int:
+        if self._closed:
+            raise StoreError("store is closed")
+        if not (MIN_TIME <= time < NOW):
+            raise ValueError(
+                f"update time {time!r} outside [{MIN_TIME}, NOW)"
+            )
+        with self._writer:
+            # Cluster-wide time ordering: each shard alone only enforces
+            # its local maximum, which would let per-shard histories
+            # interleave chronons inconsistently.
+            if time < self._time_watermark:
+                raise TimeOrderError(
+                    f"update at {time} before cluster watermark "
+                    f"{self._time_watermark}"
+                )
+            shard_id = self.planner.note_write(subject, predicate)
+            member = self._members[shard_id]
+            trace_id = _trace.current_trace_id()
+            payload = {
+                "op": "update", "update": op, "subject": subject,
+                "predicate": predicate, "object": object, "time": time,
+            }
+            if trace_id is not None:
+                payload["trace_id"] = trace_id
+            response = self._rpc_primary(member, payload)
+            member.acked_lsn = response["revision"]
+            self._watermark += 1
+            self._time_watermark = max(self._time_watermark, time)
+            self._horizon = max(self._horizon, time + 1)
+            if _metrics.ENABLED:
+                _UPDATES.inc()
+                _WATERMARK.set(self._watermark)
+            return self._watermark
+
+    # -------------------------------------------------------------- loading
+
+    def load_dataset(self, graph) -> None:
+        """Bulk-load an initial dataset: partition, load every primary
+        (each checkpoints, making the load durable), then resync the
+        replicas — bulk loads bypass the WAL, so followers must adopt the
+        fresh snapshot rather than wait for records that will never ship.
+        """
+        if self._closed:
+            raise StoreError("store is closed")
+        with self._writer:
+            parts = self.planner.partition(graph)
+            for member, part in zip(self._members, parts):
+                rows = [
+                    (t.subject, t.predicate, t.object, t.period.start,
+                     None if t.period.end == NOW else t.period.end)
+                    for t in part.triples()
+                ]
+                self._rpc_primary(
+                    member, {"op": "load", "rows": rows}, timeout=300.0
+                )
+            for member in self._members:
+                for replica in list(member.replicas):
+                    try:
+                        replica.rpc({"op": "resync"}, timeout=300.0)
+                    except (OSError, ProtocolError) as error:
+                        _obslog.LOGGER.warning(
+                            "cluster_replica_dead", shard=member.shard_id,
+                            error=str(error),
+                        )
+                        replica.close()
+                        member.replicas.remove(replica)
+        self._bootstrap_watermarks()
+
+    # ---------------------------------------------------------- maintenance
+
+    def checkpoint(self) -> Path:
+        """Checkpoint every member, waiting for replicas to catch up first.
+
+        The primary's checkpoint truncates its WAL; a follower still
+        missing truncated records would hit a replication gap and pay a
+        full snapshot resync.  Waiting (bounded) for followers to reach
+        the acked LSN makes the common case gap-free; a straggler past
+        the bound resyncs, which is safe — just slower.
+        """
+        if self._closed:
+            raise StoreError("store is closed")
+        with self._writer:
+            for member in self._members:
+                for replica in member.replicas:
+                    self._wait_for_replica(member, replica)
+                self._rpc_primary(member, {"op": "checkpoint"})
+                for replica in member.replicas:
+                    try:
+                        replica.rpc({"op": "checkpoint"})
+                    except (OSError, ProtocolError, StoreError) as error:
+                        _obslog.LOGGER.warning(
+                            "cluster_replica_checkpoint_failed",
+                            shard=member.shard_id, error=str(error),
+                        )
+        return self.directory
+
+    def _wait_for_replica(self, member: _Member, replica: ShardClient,
+                          deadline: float = 5.0) -> None:
+        waited = 0.0
+        while waited < deadline:
+            try:
+                status = replica.rpc({"op": "status"})
+            except (OSError, ProtocolError):
+                return  # dead replica cannot catch up; checkpoint anyway
+            if status["revision"] >= member.acked_lsn:
+                return
+            _time.sleep(0.05)
+            waited += 0.05
+
+    def refresh_statistics(self) -> bool:
+        refreshed = False
+        for member in self._members:
+            self._rpc_primary(member, {"op": "checkpoint"})
+            refreshed = True
+        return refreshed
+
+    # ------------------------------------------------------------ reporting
+
+    @property
+    def revision(self) -> int:
+        """The cluster watermark (total applied LSNs across shards)."""
+        return self._watermark
+
+    @property
+    def live_facts(self) -> int:
+        return sum(
+            status["live_facts"] for status in self._primary_statuses()
+        )
+
+    @property
+    def cached_results(self) -> int | None:
+        return None
+
+    def _primary_statuses(self) -> list[dict]:
+        return [
+            self._rpc_primary(member, {"op": "status"})
+            for member in self._members
+        ]
+
+    def cluster_status(self) -> dict:
+        """Per-member health: role, applied LSN, liveness, pid."""
+        members = []
+        for member in self._members:
+            entry = {
+                "shard": member.shard_id,
+                "acked_lsn": member.acked_lsn,
+            }
+            try:
+                status = member.primary.rpc({"op": "status"}, timeout=5.0)
+                entry["primary"] = {
+                    "role": status["role"], "pid": status["pid"],
+                    "applied_lsn": status["revision"],
+                    "live_facts": status["live_facts"], "alive": True,
+                }
+            except (OSError, ProtocolError) as error:
+                entry["primary"] = {
+                    "role": "shard", "pid": member.primary.pid,
+                    "alive": False, "error": str(error),
+                }
+            entry["replicas"] = []
+            for replica in member.replicas:
+                try:
+                    status = replica.rpc({"op": "status"}, timeout=5.0)
+                    entry["replicas"].append({
+                        "role": status["role"], "pid": status["pid"],
+                        "applied_lsn": status["revision"], "alive": True,
+                    })
+                except (OSError, ProtocolError) as error:
+                    entry["replicas"].append({
+                        "role": "replica", "pid": replica.pid,
+                        "alive": False, "error": str(error),
+                    })
+            members.append(entry)
+        return {
+            "shards": self.planner.shards,
+            "replicas_per_shard": self.replicas_per_shard,
+            "watermark": self._watermark,
+            "horizon": self._horizon,
+            "members": members,
+        }
+
+    def storage_report(self) -> dict:
+        """Cluster-shaped ``/debug/storage`` payload."""
+        return {"cluster": self.cluster_status()}
+
+    # -------------------------------------------------------------- closing
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._scatter_pool.shutdown(wait=False)
+        clients = []
+        for member in self._members:
+            clients.append(member.primary)
+            clients.extend(member.replicas)
+        for client in clients:
+            if not client.alive:
+                continue
+            try:
+                client.rpc({"op": "shutdown"}, timeout=5.0)
+            except (OSError, ProtocolError) as error:
+                _obslog.LOGGER.debug(
+                    "cluster_shutdown_rpc_failed", error=str(error)
+                )
+            client.close()
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+
+    def __enter__(self) -> "ClusterStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

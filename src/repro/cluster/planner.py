@@ -1,0 +1,125 @@
+"""Shard assignment: who owns a triple, who can answer a pattern.
+
+Triples are hash-partitioned on **subject**: the four MVBT indices all key
+on whole (s, p, o) permutations, so any pattern with a bound subject is
+answerable by exactly one shard, and every update — which names its full
+triple — has exactly one owner.  The hash is ``zlib.crc32`` of the UTF-8
+term, *never* Python's builtin ``hash()``: string hashing is salted per
+process (PYTHONHASHSEED), and a shard map that moves between runs would
+orphan every triple on restart.
+
+Patterns with an unbound subject cannot be routed by subject; the planner
+falls back to the **predicate map** built during partitioning (predicate
+-> shards that hold at least one triple with it, maintained on writes).
+A predicate-bound pattern then fans out only to the shards that can
+possibly match; anything less constrained broadcasts to all shards —
+always correct, since shards are disjoint by subject and partial results
+union cleanly.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from ..model.graph import TemporalGraph
+from ..sparqlt.ast import QuadPattern, TermConst
+
+
+def shard_of(term: str, shards: int) -> int:
+    """The shard owning subject ``term`` in an N-shard topology.
+
+    Deterministic across processes, runs, and machines (crc32 of UTF-8).
+    """
+    if shards < 1:
+        raise ValueError(f"shard count must be >= 1, got {shards}")
+    return zlib.crc32(term.encode("utf-8")) % shards
+
+
+class ShardPlanner:
+    """Partitions datasets and routes patterns for an N-shard topology.
+
+    Instances are plain picklable state (shard count + predicate map), so
+    a coordinator restart — or a test pickling the planner — reproduces
+    identical routing.
+    """
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ValueError(f"shard count must be >= 1, got {shards}")
+        self.shards = shards
+        #: predicate -> sorted shard ids holding at least one such triple.
+        self.predicate_map: dict[str, list[int]] = {}
+
+    # ---------------------------------------------------------- partitioning
+
+    def partition(self, graph: TemporalGraph) -> list[TemporalGraph]:
+        """Split ``graph`` into one disjoint sub-graph per shard.
+
+        Each sub-graph gets its own dictionary (shared-nothing: shard
+        dictionaries encode only local terms, so ids differ per shard —
+        which is why the coordinator joins on decoded strings).  The
+        predicate map is rebuilt as a side effect.
+        """
+        parts = [TemporalGraph() for _ in range(self.shards)]
+        predicate_shards: dict[str, set[int]] = {}
+        for triple in graph.triples():
+            shard = shard_of(triple.subject, self.shards)
+            parts[shard].add(
+                triple.subject, triple.predicate, triple.object,
+                triple.period.start, triple.period.end,
+            )
+            predicate_shards.setdefault(triple.predicate, set()).add(shard)
+        self.predicate_map = {
+            predicate: sorted(owners)
+            for predicate, owners in sorted(predicate_shards.items())
+        }
+        return parts
+
+    def note_write(self, subject: str, predicate: str) -> int:
+        """Record a write's predicate in the map; returns the owner shard."""
+        shard = shard_of(subject, self.shards)
+        owners = self.predicate_map.setdefault(predicate, [])
+        if shard not in owners:
+            owners.append(shard)
+            owners.sort()
+        return shard
+
+    # --------------------------------------------------------------- routing
+
+    def shards_for_pattern(self, pattern: QuadPattern) -> list[int]:
+        """The shards that must be consulted for ``pattern``.
+
+        Bound subject -> exactly its owner.  Unbound subject but bound
+        predicate -> the predicate's known owners (possibly none).  The
+        predicate map is only a *pruning* aid: when it has no entry for a
+        bound predicate the pattern still broadcasts, because an empty
+        map also arises from a coordinator restarted over pre-loaded
+        shard directories, where routing must stay correct without it.
+        """
+        if isinstance(pattern.subject, TermConst):
+            return [shard_of(pattern.subject.value, self.shards)]
+        if isinstance(pattern.predicate, TermConst):
+            owners = self.predicate_map.get(pattern.predicate.value)
+            if owners is not None and self.predicate_map:
+                return list(owners)
+        return list(range(self.shards))
+
+    def single_shard_for(self, patterns: list[QuadPattern]) -> int | None:
+        """The one shard able to answer *all* patterns, or ``None``.
+
+        This is the fast-path test: when every pattern's subject is a
+        constant hashing to the same shard, the whole query (joins,
+        filters, projection) runs there untouched.
+        """
+        target: int | None = None
+        if not patterns:
+            return None
+        for pattern in patterns:
+            if not isinstance(pattern.subject, TermConst):
+                return None
+            shard = shard_of(pattern.subject.value, self.shards)
+            if target is None:
+                target = shard
+            elif shard != target:
+                return None
+        return target

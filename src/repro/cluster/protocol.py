@@ -1,0 +1,243 @@
+"""The coordinator <-> worker wire protocol.
+
+Length-prefixed JSON frames over TCP: ``[u32 length][payload]`` where the
+payload is one UTF-8 JSON object.  Requests carry an ``"op"`` plus
+op-specific fields (and optionally the coordinator's ``trace_id`` so the
+worker's spans join the request's trace); responses are
+``{"ok": true, ...}`` or ``{"ok": false, "error": msg, "kind": k}``.
+The ``kind`` maps a worker-side exception back to the coordinator-side
+class, so HTTP status mapping (400/409) behaves exactly as in the
+single-process server.
+
+This module also carries the serialization helpers shared by both ends:
+result rows (temporal bindings as ``[[start, end|null], ...]``, matching
+the HTTP layer), WAL records, and parsed sub-query ASTs (the scatter path
+ships single-pattern :class:`~repro.sparqlt.ast.Query` objects rather
+than re-rendered text).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+from ..model.time import NOW, Period, PeriodSet
+from ..service.wal import WalRecord
+from ..sparqlt.ast import (
+    And,
+    Compare,
+    Expr,
+    FuncCall,
+    Literal,
+    Not,
+    Or,
+    Query,
+    QuadPattern,
+    TermConst,
+    TimeConst,
+    Var,
+)
+
+_LEN = struct.Struct(">I")
+
+#: Largest accepted frame (64 MiB), mirroring the HTTP body cap.
+MAX_FRAME = 64 * 1024 * 1024
+
+#: Error kinds a worker reports, mapped to exceptions coordinator-side.
+KIND_BAD_REQUEST = "bad_request"
+KIND_CONFLICT_DUPLICATE = "conflict_duplicate"
+KIND_CONFLICT_MISSING = "conflict_missing"
+KIND_CONFLICT_TIME = "conflict_time"
+KIND_LAGGING = "lagging"
+KIND_INTERNAL = "internal"
+
+
+class ProtocolError(Exception):
+    """A malformed or truncated frame on the cluster socket."""
+
+
+def send_message(sock: socket.socket, payload: dict) -> None:
+    """Write one length-prefixed JSON frame."""
+    data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(data) > MAX_FRAME:
+        raise ProtocolError(f"frame too large: {len(data)} bytes")
+    sock.sendall(_LEN.pack(len(data)) + data)
+
+
+def recv_message(sock: socket.socket) -> dict:
+    """Read one length-prefixed JSON frame (raises on EOF/truncation)."""
+    header = _recv_exact(sock, _LEN.size)
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame too large: {length} bytes")
+    data = _recv_exact(sock, length)
+    try:
+        payload = json.loads(data)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"bad frame payload: {error}") from error
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return payload
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ------------------------------------------------------------- result rows
+
+
+def encode_value(value):
+    """A binding value -> JSON: PeriodSets as ``[[start, end|null], ...]``."""
+    if isinstance(value, PeriodSet):
+        return [[p.start, None if p.end == NOW else p.end] for p in value]
+    return value
+
+
+def decode_value(value):
+    """Inverse of :func:`encode_value` (lists become PeriodSets)."""
+    if isinstance(value, list):
+        return PeriodSet(
+            Period(start, NOW if end is None else end)
+            for start, end in value
+        )
+    return value
+
+
+def encode_row(row: dict) -> dict:
+    return {name: encode_value(value) for name, value in row.items()}
+
+
+def decode_row(row: dict) -> dict:
+    return {name: decode_value(value) for name, value in row.items()}
+
+
+# ------------------------------------------------------------- WAL records
+
+
+def encode_wal_record(record: WalRecord) -> list:
+    return [record.lsn, record.op, record.subject, record.predicate,
+            record.object, record.time]
+
+
+def decode_wal_record(fields: list) -> WalRecord:
+    lsn, op, subject, predicate, object_, time = fields
+    return WalRecord(lsn, op, subject, predicate, object_, time)
+
+
+# ---------------------------------------------------------- sub-query ASTs
+#
+# The scatter path ships *parsed* single-pattern sub-queries: re-rendering
+# SPARQLT text would have to re-quote literals and re-format dates, and a
+# round trip through the parser is both slower and a second place for the
+# grammar to live.  Only the simple conjunctive shape is encoded — the
+# coordinator handles UNION/OPTIONAL algebra itself and only ever scatters
+# plain pattern + filter sub-queries.
+
+
+def encode_query(query: Query) -> dict:
+    return {
+        "select": list(query.select),
+        "patterns": [_encode_pattern(p) for p in query.patterns],
+        "filters": [encode_expr(f) for f in query.filters],
+    }
+
+
+def decode_query(payload: dict) -> Query:
+    return Query(
+        select=list(payload["select"]),
+        patterns=[_decode_pattern(p) for p in payload["patterns"]],
+        filters=[decode_expr(f) for f in payload["filters"]],
+    )
+
+
+def _encode_pattern(pattern: QuadPattern) -> dict:
+    return {
+        "s": _encode_term(pattern.subject),
+        "p": _encode_term(pattern.predicate),
+        "o": _encode_term(pattern.object),
+        "t": _encode_term(pattern.time),
+    }
+
+
+def _decode_pattern(payload: dict) -> QuadPattern:
+    return QuadPattern(
+        _decode_term(payload["s"]),
+        _decode_term(payload["p"]),
+        _decode_term(payload["o"]),
+        _decode_term(payload["t"]),
+    )
+
+
+def _encode_term(term) -> dict:
+    if isinstance(term, Var):
+        return {"var": term.name}
+    if isinstance(term, TermConst):
+        return {"term": term.value}
+    if isinstance(term, TimeConst):
+        return {"time": term.chronon}
+    raise ProtocolError(f"unencodable pattern term: {term!r}")
+
+
+def _decode_term(payload: dict):
+    if "var" in payload:
+        return Var(payload["var"])
+    if "term" in payload:
+        return TermConst(payload["term"])
+    if "time" in payload:
+        return TimeConst(payload["time"])
+    raise ProtocolError(f"undecodable pattern term: {payload!r}")
+
+
+def encode_expr(expr: Expr) -> dict:
+    if isinstance(expr, Var):
+        return {"k": "var", "name": expr.name}
+    if isinstance(expr, Literal):
+        return {"k": "lit", "value": expr.value, "kind": expr.kind}
+    if isinstance(expr, FuncCall):
+        return {"k": "func", "name": expr.name,
+                "arg": encode_expr(expr.arg)}
+    if isinstance(expr, Compare):
+        return {"k": "cmp", "op": expr.op,
+                "left": encode_expr(expr.left),
+                "right": encode_expr(expr.right)}
+    if isinstance(expr, And):
+        return {"k": "and", "left": encode_expr(expr.left),
+                "right": encode_expr(expr.right)}
+    if isinstance(expr, Or):
+        return {"k": "or", "left": encode_expr(expr.left),
+                "right": encode_expr(expr.right)}
+    if isinstance(expr, Not):
+        return {"k": "not", "operand": encode_expr(expr.operand)}
+    raise ProtocolError(f"unencodable filter expression: {expr!r}")
+
+
+def decode_expr(payload: dict) -> Expr:
+    kind = payload.get("k")
+    if kind == "var":
+        return Var(payload["name"])
+    if kind == "lit":
+        return Literal(payload["value"], payload["kind"])
+    if kind == "func":
+        return FuncCall(payload["name"], decode_expr(payload["arg"]))
+    if kind == "cmp":
+        return Compare(payload["op"], decode_expr(payload["left"]),
+                       decode_expr(payload["right"]))
+    if kind == "and":
+        return And(decode_expr(payload["left"]),
+                   decode_expr(payload["right"]))
+    if kind == "or":
+        return Or(decode_expr(payload["left"]),
+                  decode_expr(payload["right"]))
+    if kind == "not":
+        return Not(decode_expr(payload["operand"]))
+    raise ProtocolError(f"undecodable filter expression: {payload!r}")

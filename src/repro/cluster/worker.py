@@ -1,0 +1,499 @@
+"""The shard / replica worker process.
+
+One worker per topology member, started with the ``spawn`` context (a
+fork would inherit the coordinator's thread-pool and lock state mid-use).
+Each worker owns a private directory with a full
+:class:`~repro.service.store.TemporalStore` — engine, WAL, snapshots —
+and answers the :mod:`repro.cluster.protocol` ops on a loopback TCP
+socket (``ThreadingTCPServer``: concurrent reads ride the store's
+readers-writer lock exactly as in the single-process server).
+
+Replicas additionally run a tail thread that polls the primary's
+``wal_since`` op and applies shipped records through
+:meth:`~repro.service.store.TemporalStore.apply_replicated`.  Two
+recovery paths keep a follower convergent:
+
+* **Resync** — on a replication gap (the primary checkpointed and
+  truncated records the follower never saw), or on an explicit ``resync``
+  op (bulk loads bypass the WAL entirely), the follower copies the
+  primary's snapshot file and reopens over it.  The copy races only with
+  the atomic snapshot rename, so it always sees a complete file.
+* **Promote** — on a ``promote`` op the follower reads the *dead*
+  primary's on-disk WAL directly (acknowledged appends are flushed to
+  the OS before the ack, so they survive a SIGKILL), applies what it is
+  missing, and flips role to ``shard``; subsequent updates route here.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import shutil
+import socket
+import socketserver
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..model.time import TimeError
+from ..mvbt.tree import DuplicateKeyError, TimeOrderError
+from ..obs import log as _obslog
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+from ..service.snapshot import is_snapshot
+from ..service.store import StoreError, TemporalStore
+from ..service.wal import read_records
+from ..sparqlt.errors import SparqltError
+from . import protocol
+from .protocol import (
+    KIND_BAD_REQUEST,
+    KIND_CONFLICT_DUPLICATE,
+    KIND_CONFLICT_MISSING,
+    KIND_CONFLICT_TIME,
+    KIND_INTERNAL,
+    KIND_LAGGING,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
+
+_REQUESTS = _metrics.counter("cluster.worker.requests")
+_REPLICATED = _metrics.counter("cluster.worker.replicated")
+_WAL_SHIPPED = _metrics.counter("cluster.worker.wal_shipped")
+_RESYNCS = _metrics.counter("cluster.worker.resyncs")
+
+
+@dataclass
+class WorkerConfig:
+    """Everything a spawned worker needs (must stay picklable)."""
+
+    shard_id: int
+    role: str  # "shard" | "replica"
+    directory: str
+    #: primary's (host, port) and directory — replicas only.
+    primary_address: tuple[str, int] | None = None
+    primary_directory: str | None = None
+    replica_index: int = 0
+    use_optimizer: bool = True
+    group_size: int = 32
+    fsync: bool = True
+    query_cache_size: int | None = 256
+    parallel: bool | None = None
+    poll_interval: float = 0.05
+
+
+class _WorkerState:
+    def __init__(self, config: WorkerConfig) -> None:
+        self.config = config
+        self.role = config.role
+        self.store: TemporalStore = _open_store(config)
+        self.stopping = threading.Event()
+        #: serializes resync/promote against each other (queries keep
+        #: serving off whatever store object they already grabbed).
+        self.maintenance = threading.Lock()
+
+
+def _open_store(config: WorkerConfig) -> TemporalStore:
+    return TemporalStore(
+        config.directory,
+        use_optimizer=config.use_optimizer,
+        group_size=config.group_size,
+        fsync=config.fsync,
+        query_cache_size=config.query_cache_size,
+        parallel=config.parallel,
+    )
+
+
+# -------------------------------------------------------------- replication
+
+
+def _resync(state: _WorkerState) -> None:
+    """Rebuild this follower from the primary's snapshot file.
+
+    Used when WAL shipping cannot bridge the follower to the primary: a
+    bulk load (which bypasses the WAL) or a replication gap (the primary
+    truncated records at checkpoint).  ``save_snapshot`` publishes via an
+    atomic rename, so the copy sees either the previous or the new
+    snapshot, never a torn one — and a stale copy merely triggers one
+    more resync round.
+    """
+    config = state.config
+    with state.maintenance:
+        state.store.close()
+        own_snap = Path(config.directory) / TemporalStore.SNAPSHOT_NAME
+        own_wal = Path(config.directory) / TemporalStore.WAL_NAME
+        primary_snap = (
+            Path(config.primary_directory) / TemporalStore.SNAPSHOT_NAME
+            if config.primary_directory else None
+        )
+        if primary_snap is not None and primary_snap.exists():
+            tmp = own_snap.with_name(own_snap.name + ".resync")
+            shutil.copyfile(primary_snap, tmp)
+            os.replace(tmp, own_snap)
+        elif own_snap.exists():
+            own_snap.unlink()
+        if own_wal.exists():
+            own_wal.unlink()
+        state.store = _open_store(config)
+        if _metrics.ENABLED:
+            _RESYNCS.inc()
+        _obslog.LOGGER.info(
+            "cluster_resync", shard=config.shard_id,
+            revision=state.store.revision,
+        )
+
+
+def _tail_loop(state: _WorkerState) -> None:
+    """Poll the primary for WAL records past our revision and apply them."""
+    config = state.config
+    while not state.stopping.is_set() and state.role == "replica":
+        try:
+            response = _point_rpc(
+                config.primary_address,
+                {"op": "wal_since", "lsn": state.store.revision},
+            )
+        except (OSError, ProtocolError):
+            # Primary unreachable (dead, or not yet serving): keep
+            # polling — promotion, if any, arrives from the coordinator.
+            state.stopping.wait(config.poll_interval)
+            continue
+        records = [
+            protocol.decode_wal_record(fields)
+            for fields in response.get("records", [])
+        ] if response.get("ok") else []
+        applied = 0
+        for record in records:
+            if state.stopping.is_set() or state.role != "replica":
+                break
+            try:
+                state.store.apply_replicated(record)
+                applied += 1
+            except StoreError as error:
+                _obslog.LOGGER.warning(
+                    "cluster_replication_gap", shard=config.shard_id,
+                    lsn=record.lsn, error=str(error),
+                )
+                _resync(state)
+                break
+            except (DuplicateKeyError, TimeOrderError, KeyError,
+                    ValueError) as error:
+                # The record does not apply to our state: we diverged
+                # (e.g. raced a bulk load).  Snap back to the primary's
+                # snapshot rather than guessing.
+                _obslog.LOGGER.warning(
+                    "cluster_replication_diverged", shard=config.shard_id,
+                    lsn=record.lsn, error=str(error),
+                )
+                _resync(state)
+                break
+        if applied and _metrics.ENABLED:
+            _REPLICATED.inc(applied)
+        if not records:
+            state.stopping.wait(config.poll_interval)
+
+
+def _catch_up_from_wal(state: _WorkerState, wal_path: str) -> int:
+    """Apply every record in ``wal_path`` past our revision; returns the
+    count applied.  Raises :class:`StoreError` on a replication gap."""
+    path = Path(wal_path)
+    if not path.exists():
+        return 0
+    applied = 0
+    for record in read_records(path):
+        if record.lsn <= state.store.revision:
+            continue
+        state.store.apply_replicated(record)
+        applied += 1
+    return applied
+
+
+def _promote(state: _WorkerState, wal_path: str | None) -> None:
+    """Take over as primary: final catch-up from the dead primary's log,
+    then flip role (which also stops the tail loop)."""
+    for attempt in range(2):
+        try:
+            applied = (
+                _catch_up_from_wal(state, wal_path) if wal_path else 0
+            )
+        except StoreError as error:
+            if attempt:
+                raise
+            # Gap against the dead primary's log: its snapshot holds the
+            # truncated prefix — resync onto it and replay once more.
+            _obslog.LOGGER.warning(
+                "cluster_promote_gap", shard=state.config.shard_id,
+                error=str(error),
+            )
+            _resync(state)
+            continue
+        break
+    state.role = "shard"
+    _obslog.LOGGER.info(
+        "cluster_promoted", shard=state.config.shard_id,
+        revision=state.store.revision, caught_up=applied,
+    )
+
+
+# ------------------------------------------------------------------ op impl
+
+
+def _op_ping(state: _WorkerState, payload: dict) -> dict:
+    return {"ok": True}
+
+
+def _op_status(state: _WorkerState, payload: dict) -> dict:
+    store = state.store
+    return {
+        "ok": True,
+        "role": state.role,
+        "shard_id": state.config.shard_id,
+        "revision": store.revision,
+        "live_facts": store.live_facts,
+        "horizon": store.engine.horizon,
+        "pid": os.getpid(),
+    }
+
+
+def _check_replica_fresh(state: _WorkerState, payload: dict) -> dict | None:
+    if state.role != "replica":
+        return None
+    min_lsn = payload.get("min_lsn", 0)
+    if state.store.revision < min_lsn:
+        return {
+            "ok": False,
+            "error": (
+                f"replica at LSN {state.store.revision}, "
+                f"needs {min_lsn}"
+            ),
+            "kind": KIND_LAGGING,
+        }
+    return None
+
+
+def _run_query(state: _WorkerState, payload: dict, query) -> dict:
+    lagging = _check_replica_fresh(state, payload)
+    if lagging is not None:
+        return lagging
+    store = state.store
+    floor = payload.get("horizon", 0)
+    if floor > store.engine.horizon_floor:
+        # Monotonic: the cluster horizon only advances, so concurrent
+        # raises from racing requests are order-independent.
+        store.engine.horizon_floor = floor
+    result = store.query(query)
+    return {
+        "ok": True,
+        "variables": result.variables,
+        "rows": [protocol.encode_row(row) for row in result.rows],
+        "revision": result.revision,
+    }
+
+
+def _op_query(state: _WorkerState, payload: dict) -> dict:
+    text = payload.get("text")
+    if not isinstance(text, str) or not text.strip():
+        raise ValueError("missing 'text' string")
+    return _run_query(state, payload, text)
+
+
+def _op_scan(state: _WorkerState, payload: dict) -> dict:
+    query = protocol.decode_query(payload["query"])
+    return _run_query(state, payload, query)
+
+
+def _op_update(state: _WorkerState, payload: dict) -> dict:
+    if state.role != "shard":
+        raise StoreError("replica is read-only")
+    op = payload.get("update")
+    if op not in ("insert", "delete"):
+        raise ValueError(f"bad update op: {op!r}")
+    subject = payload["subject"]
+    predicate = payload["predicate"]
+    object_ = payload["object"]
+    time = payload["time"]
+    store = state.store
+    if op == "insert":
+        lsn = store.insert(subject, predicate, object_, time)
+    else:
+        lsn = store.delete(subject, predicate, object_, time)
+    return {"ok": True, "lsn": lsn, "revision": store.revision}
+
+
+def _op_load(state: _WorkerState, payload: dict) -> dict:
+    from ..model.graph import TemporalGraph
+    from ..model.time import NOW
+
+    graph = TemporalGraph()
+    for subject, predicate, object_, start, end in payload["rows"]:
+        graph.add(subject, predicate, object_, start,
+                  NOW if end is None else end)
+    state.store.load_dataset(graph)
+    return {"ok": True, "live_facts": state.store.live_facts,
+            "horizon": state.store.engine.horizon}
+
+
+def _op_wal_since(state: _WorkerState, payload: dict) -> dict:
+    records = state.store.wal_since(payload.get("lsn", 0))
+    if records and _metrics.ENABLED:
+        _WAL_SHIPPED.inc(len(records))
+    return {
+        "ok": True,
+        "records": [protocol.encode_wal_record(r) for r in records],
+    }
+
+
+def _op_resync(state: _WorkerState, payload: dict) -> dict:
+    if state.role != "replica":
+        raise StoreError("resync only applies to replicas")
+    _resync(state)
+    return {"ok": True, "revision": state.store.revision}
+
+
+def _op_promote(state: _WorkerState, payload: dict) -> dict:
+    if state.role != "replica":
+        return {"ok": True, "revision": state.store.revision,
+                "already": True}
+    _promote(state, payload.get("wal_path"))
+    return {"ok": True, "revision": state.store.revision}
+
+
+def _op_checkpoint(state: _WorkerState, payload: dict) -> dict:
+    state.store.checkpoint()
+    return {"ok": True, "revision": state.store.revision}
+
+
+def _op_metrics(state: _WorkerState, payload: dict) -> dict:
+    return {"ok": True, "metrics": _metrics.REGISTRY.snapshot()}
+
+
+def _op_shutdown(state: _WorkerState, payload: dict) -> dict:
+    state.stopping.set()
+    return {"ok": True}
+
+
+_OPS = {
+    "ping": _op_ping,
+    "status": _op_status,
+    "query": _op_query,
+    "scan": _op_scan,
+    "update": _op_update,
+    "load": _op_load,
+    "wal_since": _op_wal_since,
+    "resync": _op_resync,
+    "promote": _op_promote,
+    "checkpoint": _op_checkpoint,
+    "metrics": _op_metrics,
+    "shutdown": _op_shutdown,
+}
+
+
+def _dispatch(state: _WorkerState, payload: dict) -> dict:
+    op = payload.get("op")
+    if _metrics.ENABLED:
+        _REQUESTS.inc()
+    handler = _OPS.get(op)
+    if handler is None:
+        return {"ok": False, "error": f"unknown op: {op!r}",
+                "kind": KIND_BAD_REQUEST}
+    trace_id = payload.get("trace_id")
+    if trace_id and _metrics.ENABLED:
+        trace_cm = _trace.start_trace(
+            f"cluster.{op}", shard=state.config.shard_id,
+            upstream=trace_id,
+        )
+    else:
+        trace_cm = contextlib.nullcontext()
+    try:
+        with trace_cm:
+            return handler(state, payload)
+    except (SparqltError, TimeError, ValueError) as error:
+        return {"ok": False, "error": str(error), "kind": KIND_BAD_REQUEST}
+    except DuplicateKeyError as error:
+        return {"ok": False, "error": str(error),
+                "kind": KIND_CONFLICT_DUPLICATE}
+    except TimeOrderError as error:
+        return {"ok": False, "error": str(error),
+                "kind": KIND_CONFLICT_TIME}
+    except KeyError as error:
+        return {"ok": False, "error": str(error),
+                "kind": KIND_CONFLICT_MISSING}
+    except (StoreError, ProtocolError, OSError) as error:
+        return {"ok": False, "error": str(error), "kind": KIND_INTERNAL}
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One persistent connection: a loop of request/response frames."""
+
+    server: "_WorkerServer"
+
+    def handle(self) -> None:
+        sock = self.request
+        # Nagle + delayed ACK stalls small response frames by tens of
+        # milliseconds per round trip; scatter RPCs are all small frames.
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        while not self.server.state.stopping.is_set():
+            try:
+                payload = recv_message(sock)
+            except (ProtocolError, OSError):
+                return  # clean close or dead peer — either way, done
+            response = _dispatch(self.server.state, payload)
+            try:
+                send_message(sock, response)
+            except OSError:
+                return
+            if payload.get("op") == "shutdown":
+                # Stop accepting *after* the ack is on the wire.
+                threading.Thread(
+                    target=self.server.shutdown, daemon=True
+                ).start()
+                return
+
+
+class _WorkerServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, state: _WorkerState) -> None:
+        super().__init__(address, handler)
+        self.state = state
+
+
+def _point_rpc(address: tuple[str, int], payload: dict,
+               timeout: float = 5.0) -> dict:
+    """One-shot RPC on a fresh connection (the tail loop's primitive —
+    the coordinator uses pooled connections instead)."""
+    with socket.create_connection(tuple(address), timeout=timeout) as sock:
+        send_message(sock, payload)
+        return recv_message(sock)
+
+
+def worker_main(config: WorkerConfig, ready) -> None:
+    """Process entry point (must be importable for the spawn context).
+
+    Opens the store, starts the replica tail thread when applicable,
+    binds a loopback socket on an ephemeral port, and reports
+    ``{"port", "pid"}`` over the ``ready`` pipe before serving.
+    """
+    state = _WorkerState(config)
+    if config.role == "replica":
+        if (state.store.revision == 0 and state.store.live_facts == 0
+                and config.primary_directory):
+            primary_snap = (
+                Path(config.primary_directory) / TemporalStore.SNAPSHOT_NAME
+            )
+            if primary_snap.exists() and is_snapshot(primary_snap):
+                _resync(state)
+        tail = threading.Thread(
+            target=_tail_loop, args=(state,), daemon=True,
+            name=f"repro-tail-{config.shard_id}",
+        )
+        tail.start()
+    server = _WorkerServer(("127.0.0.1", 0), _Handler, state)
+    ready.send({"port": server.server_address[1], "pid": os.getpid()})
+    ready.close()
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        state.stopping.set()
+        server.server_close()
+        state.store.close()

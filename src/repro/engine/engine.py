@@ -161,6 +161,12 @@ class RDFTX:
         self.drift = _workload.DriftMonitor(
             qerror_threshold=stats_refresh_qerror
         )
+        #: lower bound on :attr:`horizon`.  A clustered deployment sets
+        #: this on every shard so filters that resolve ``NOW`` (e.g.
+        #: ``LENGTH`` over live periods) evaluate against the *cluster*
+        #: horizon rather than each shard's locally-loaded maximum, which
+        #: differs per shard under hash partitioning.
+        self.horizon_floor = 0
 
     # ----------------------------------------------------------------- load
 
@@ -300,8 +306,13 @@ class RDFTX:
 
     @property
     def horizon(self) -> int:
-        """One past the largest concrete chronon loaded so far."""
-        return max(tree.current_time for tree in self.indexes.values()) + 1
+        """One past the largest concrete chronon loaded so far.
+
+        Never below :attr:`horizon_floor`, so clustered shards agree on
+        where ``NOW`` resolves regardless of which triples they hold.
+        """
+        local = max(tree.current_time for tree in self.indexes.values()) + 1
+        return max(self.horizon_floor, local)
 
     def compile(self, text: str | Query) -> tuple[PlanGraph, list[int]]:
         """Parse, translate and order a query; returns (plan graph, order).

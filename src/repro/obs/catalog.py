@@ -26,6 +26,19 @@ NAME_PATTERN = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
 
 #: Every counter name the tree is allowed to register -> its contract.
 COUNTER_HELP: dict[str, str] = {
+    "cluster.coordinator.failovers": "replica promotions after primary death",
+    "cluster.coordinator.queries": "queries evaluated by the coordinator",
+    "cluster.coordinator.replica_lagging":
+        "replica reads refused behind the acked LSN",
+    "cluster.coordinator.replica_reads": "reads served by a replica",
+    "cluster.coordinator.rpc_errors": "shard RPCs failed at transport level",
+    "cluster.coordinator.scatter_scans": "per-shard scatter scan requests",
+    "cluster.coordinator.single_shard": "queries on the single-shard fast path",
+    "cluster.coordinator.updates": "updates routed to owner shards",
+    "cluster.worker.replicated": "WAL records applied from the primary",
+    "cluster.worker.requests": "RPC requests served by this worker",
+    "cluster.worker.resyncs": "full snapshot resyncs performed",
+    "cluster.worker.wal_shipped": "WAL records shipped to followers",
     "engine.filter_rows_in": "rows entering a FILTER operator",
     "engine.filter_rows_out": "rows surviving a FILTER operator",
     "engine.hash_join_rows": "rows emitted by hash joins",
@@ -83,6 +96,9 @@ COUNTER_HELP: dict[str, str] = {
 
 #: Every gauge name the tree is allowed to register -> its contract.
 GAUGE_HELP: dict[str, str] = {
+    "cluster.coordinator.shards_alive": "shards with a live primary",
+    "cluster.coordinator.watermark":
+        "cluster revision watermark (total applied LSNs)",
     "obs.workload.shapes": "distinct query shapes currently tracked",
     "optimizer.drift.max_qerror":
         "worst per-pattern q-error in the drift window",
@@ -103,6 +119,7 @@ TIMER_HELP: dict[str, str] = {
 #: Every fixed-bucket latency-histogram name the tree is allowed to
 #: register -> its contract.
 HISTOGRAM_HELP: dict[str, str] = {
+    "cluster.coordinator.rpc_ms": "coordinator-to-shard RPC latency",
     "service.server.request_ms": "HTTP request wall time (per request)",
     "service.store.query_ms": "store-level query latency",
     "service.store.update_ms": "store-level durable-update latency",

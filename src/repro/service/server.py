@@ -123,9 +123,15 @@ class TemporalService(ThreadingHTTPServer):
         trace_sample: float = 1.0,
         slow_ms: float | None = None,
         trace_capacity: int = 128,
+        role: str = "standalone",
+        shard_id: int | None = None,
     ) -> None:
         super().__init__(address, _Handler)
         self.store = store
+        #: this process's place in a cluster topology, reported by
+        #: /healthz: "standalone", "coordinator", "shard" or "replica".
+        self.role = role
+        self.shard_id = shard_id
         self.max_inflight = max_inflight
         self.request_timeout = request_timeout
         #: how long a request waits for an admission slot before 503.
@@ -223,16 +229,26 @@ class _Handler(BaseHTTPRequestHandler):
         _obslog.LOGGER.debug("http_access", method="GET", path=parsed.path)
         if parsed.path == "/healthz":
             store = self.server.store
-            self._send_json(200, {
+            payload = {
                 "status": "ok",
+                "role": self.server.role,
+                "shard_id": self.server.shard_id,
                 "revision": store.revision,
+                "applied_lsn": store.revision,
                 "live_facts": store.live_facts,
                 "cached_results": store.cached_results,
                 "uptime_seconds": round(
                     _introspect.process_uptime_seconds(), 3
                 ),
                 "rss_bytes": _introspect.process_rss_bytes(),
-            })
+            }
+            # A ClusterStore duck-types TemporalStore and adds a
+            # topology report; surface it so `repro-tx cluster-status`
+            # needs nothing beyond /healthz.
+            cluster_status = getattr(store, "cluster_status", None)
+            if cluster_status is not None:
+                payload["cluster"] = cluster_status()
+            self._send_json(200, payload)
         elif parsed.path == "/metrics":
             if _metrics.ENABLED:
                 _UPTIME.set(_introspect.process_uptime_seconds())

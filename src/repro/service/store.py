@@ -278,10 +278,58 @@ class TemporalStore:
         with self._writer:
             self._wal.sync()
 
+    # ---------------------------------------------------------- replication
+
+    def wal_since(self, lsn: int) -> list:
+        """Durable WAL records past ``lsn`` (the log-shipping read path).
+
+        Lock-free: :meth:`WriteAheadLog.read_from` re-reads the file, and
+        a frame is only readable once its append completed — a concurrent
+        writer at worst hides its in-flight record until the next poll.
+        """
+        return self._wal.read_from(lsn)
+
+    def apply_replicated(self, record) -> None:
+        """Apply one shipped WAL record on a follower.
+
+        The follower re-logs the record into its *own* WAL (log before
+        apply, same as the primary) so its snapshot + WAL stack recovers
+        independently.  Records at or below the current revision are
+        skipped (idempotent re-delivery); a record that would *skip* an
+        LSN raises :class:`StoreError` — the follower missed records
+        (e.g. the primary checkpointed and truncated its log) and must
+        resync from a snapshot instead of silently diverging.
+        """
+        with self._writer:
+            if self._closed:
+                raise StoreError("store is closed")
+            if record.lsn <= self._revision:
+                return
+            if record.lsn != self._wal.next_lsn:
+                raise StoreError(
+                    f"replication gap: expected LSN {self._wal.next_lsn}, "
+                    f"got {record.lsn}; resync from snapshot"
+                )
+            self._wal.append(record.op, record.subject, record.predicate,
+                             record.object, record.time)
+            with self._rw.write_locked():
+                self._apply(record.op, record.subject, record.predicate,
+                            record.object, record.time)
+                self._revision = record.lsn
+            if self._query_cache is not None:
+                self._query_cache.invalidate()
+            self._since_checkpoint += 1
+            if _metrics.ENABLED:
+                _UPDATES.inc()
+
     # -------------------------------------------------------------- queries
 
-    def query(self, text: str, profile: bool = False) -> QueryResult:
+    def query(self, text, profile: bool = False) -> QueryResult:
         """Evaluate a SPARQLT query under the read lock.
+
+        ``text`` is query text or a pre-parsed
+        :class:`~repro.sparqlt.ast.Query` (the cluster scatter path ships
+        parsed sub-queries; only text is cacheable).
 
         The result's ``revision`` is the store revision (last applied LSN)
         the reader was pinned to.
@@ -302,12 +350,12 @@ class TemporalStore:
                     (_time.perf_counter() - started) * 1000.0
                 )
 
-    def _query(self, text: str, profile: bool,
+    def _query(self, text, profile: bool,
                started: float) -> QueryResult:
         cache = self._query_cache
         key: str | None = None
         generation = 0
-        if cache is not None and not profile:
+        if cache is not None and not profile and isinstance(text, str):
             key = normalize_query(text)
             with _trace.span("cache.lookup"):
                 hit = cache.get(key, self._revision)

@@ -30,6 +30,7 @@ import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Iterator
 
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
@@ -181,6 +182,42 @@ class WriteAheadLog:
         if _metrics.ENABLED:
             _SYNCS.inc()
             _SYNC_HIST.observe((time.perf_counter() - started) * 1000.0)
+
+    # ------------------------------------------------------------- tailing
+
+    def read_from(self, lsn: int) -> list[WalRecord]:
+        """All durable records with LSN strictly greater than ``lsn``.
+
+        This is the replication / change-feed read path: a follower that
+        has applied everything up to ``lsn`` calls ``read_from(lsn)`` to
+        fetch the tail it is missing.  The append handle is flushed first,
+        so every *acknowledged* append is visible to the read; a torn tail
+        (a crash mid-write by another process reading a live file) simply
+        ends the scan — it is never repaired here, because repair belongs
+        to the owning writer's recovery.
+
+        Records at or below ``lsn`` are skipped, which makes mid-stream
+        offsets cheap: the file is parsed once and filtered (WAL files are
+        bounded by checkpoint truncation).  An ``lsn`` past the end of the
+        log returns an empty list.
+        """
+        if not self._handle.closed:
+            self._handle.flush()
+        data = self.path.read_bytes()
+        if data[: len(WAL_MAGIC)] != WAL_MAGIC:
+            raise WalError(f"{self.path}: not a WAL file (bad magic)")
+        records, _ = _parse_frames(data, len(WAL_MAGIC))
+        return [record for record in records if record.lsn > lsn]
+
+    def tail(self, lsn: int) -> "Iterator[WalRecord]":
+        """Iterate the records past ``lsn`` currently in the log.
+
+        A convenience iterator over :meth:`read_from` for pull-based
+        consumers (replication channels, ``/changes?since=`` feeds): each
+        call yields the records available *now* and then stops — callers
+        poll again with the last LSN they saw.
+        """
+        yield from self.read_from(lsn)
 
     def truncate(self) -> None:
         """Reset the log to empty (after a checkpoint made it redundant).

@@ -1,0 +1,227 @@
+"""End-to-end cluster tests: correctness, routing, replication, failover.
+
+These boot real worker processes (spawn context), so topologies stay
+small and the dataset tiny; the properties under test — byte-identical
+results across topologies, watermark monotonicity, replica promotion —
+do not depend on scale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import io as tio
+from repro.cluster import ClusterStore, shard_of
+from repro.cluster.executor import canonical_sort
+from repro.cluster.protocol import encode_value
+from repro.datasets.queries import (
+    complex_queries,
+    join_queries,
+    selection_queries,
+)
+from repro.mvbt.tree import DuplicateKeyError, TimeOrderError
+from repro.service.store import TemporalStore
+
+GOLDEN = Path(__file__).parent / "golden" / "cluster_fig9.json"
+#: The pinned dataset the golden answers were computed on.  Committed as
+#: a file (not regenerated from the synthetic generator) because the
+#: generator's output depends on string-hash iteration order, which
+#: varies per process with PYTHONHASHSEED.
+GOLDEN_DATASET = Path(__file__).parent / "golden" / "cluster_fig9.tnq"
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return tio.load_graph(str(GOLDEN_DATASET))
+
+
+@pytest.fixture(scope="module")
+def query_mix(graph):
+    """A small fig9-style mix: selection + join + complex shapes."""
+    by_count = complex_queries(graph, seed=3)
+    return (selection_queries(graph, 4, seed=1)
+            + join_queries(graph, 4, seed=2)
+            + by_count[3][:2] + by_count[4][:2])
+
+
+def _serialize(result) -> dict:
+    """The byte-identity form: canonical row order, JSON-encoded values."""
+    return {
+        "variables": result.variables,
+        "rows": [
+            [encode_value(row.get(name)) for name in result.variables]
+            for row in result.rows
+        ],
+    }
+
+
+def _subject_on_shard(shard: int, shards: int, start: int = 0) -> str:
+    return next(
+        f"subj{i}" for i in range(start, start + 10_000)
+        if shard_of(f"subj{i}", shards) == shard
+    )
+
+
+class TestClusterCorrectness:
+    def test_matches_single_engine(self, tmp_path, graph, query_mix):
+        single = TemporalStore(tmp_path / "single", query_cache_size=None)
+        single.load_dataset(graph)
+        expected = {}
+        for text in query_mix:
+            result = single.query(text)
+            expected[text] = {
+                "variables": result.variables,
+                "rows": [
+                    [encode_value(row.get(name))
+                     for name in result.variables]
+                    for row in canonical_sort(
+                        result.rows, result.variables
+                    )
+                ],
+            }
+        single.close()
+
+        with ClusterStore(tmp_path / "clu", shards=2,
+                          fsync=False) as cluster:
+            cluster.load_dataset(graph)
+            for text in query_mix:
+                got = _serialize(cluster.query(text))
+                assert got == expected[text], text
+
+    def test_golden_one_vs_four_shards(self, tmp_path, graph, query_mix):
+        """1-shard and 4-shard deployments byte-match the golden file.
+
+        The golden file pins the canonical serialization, so a change in
+        sort order, value encoding, or distributed-join semantics shows
+        up as a diff here rather than as silent cross-topology drift.
+        """
+        golden = json.loads(GOLDEN.read_text())
+        assert list(golden) == query_mix, (
+            "query mix changed; regenerate tests/golden/cluster_fig9.json"
+        )
+        for shards in (1, 4):
+            with ClusterStore(tmp_path / f"s{shards}", shards=shards,
+                              fsync=False) as cluster:
+                cluster.load_dataset(graph)
+                for text in query_mix:
+                    got = _serialize(cluster.query(text))
+                    assert got == golden[text], (shards, text)
+
+
+class TestClusterUpdates:
+    def test_routing_watermark_and_conflicts(self, tmp_path):
+        with ClusterStore(tmp_path / "clu", shards=2,
+                          fsync=False) as cluster:
+            s0 = _subject_on_shard(0, 2)
+            s1 = _subject_on_shard(1, 2, start=10_000)
+            assert cluster.insert(s0, "p", "a", 1000) == 1
+            assert cluster.insert(s1, "p", "b", 1001) == 2
+            assert cluster.revision == 2
+            # each shard applied exactly one record
+            status = cluster.cluster_status()
+            lsns = sorted(m["primary"]["applied_lsn"]
+                          for m in status["members"])
+            assert lsns == [1, 1]
+            assert status["watermark"] == 2
+            # reads see both, regardless of owning shard
+            result = cluster.query("SELECT ?s ?o {?s p ?o ?t}")
+            assert [(r["s"], r["o"]) for r in result.rows] == sorted(
+                [(s0, "a"), (s1, "b")]
+            )
+            assert result.revision == 2
+
+            with pytest.raises(DuplicateKeyError):
+                cluster.insert(s0, "p", "a", 1005)
+            # cross-shard time order: s1's shard would accept 900
+            # locally, but the cluster watermark is already at 1001.
+            with pytest.raises(TimeOrderError):
+                cluster.insert(s1, "q", "c", 900)
+            assert cluster.revision == 2
+
+    def test_delete_and_readback(self, tmp_path):
+        with ClusterStore(tmp_path / "clu", shards=2,
+                          fsync=False) as cluster:
+            subject = _subject_on_shard(1, 2)
+            cluster.insert(subject, "p", "v", 1000)
+            cluster.delete(subject, "p", "v", 1500)
+            result = cluster.query(
+                f"SELECT ?o ?t {{{subject} p ?o ?t}}"
+            )
+            assert len(result.rows) == 1
+            periods = list(result.rows[0]["t"])
+            assert periods[0].start == 1000
+            assert periods[0].end == 1500
+
+
+class TestClusterFailover:
+    def test_sigkill_promotes_replica_and_preserves_results(
+        self, tmp_path, graph, query_mix
+    ):
+        with ClusterStore(tmp_path / "clu", shards=2, replicas=1,
+                          fsync=False) as cluster:
+            cluster.load_dataset(graph)
+            # live writes so the replica has WAL-shipped state too
+            for index in range(5):
+                cluster.insert(f"live{index}", "liveness", "yes",
+                               20_000 + index)
+            before = [_serialize(cluster.query(t)) for t in query_mix]
+
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                status = cluster.cluster_status()
+                if all(
+                    replica["alive"] and replica["applied_lsn"]
+                    == member["primary"]["applied_lsn"]
+                    for member in status["members"]
+                    for replica in member["replicas"]
+                ):
+                    break
+                time.sleep(0.1)
+
+            victim = cluster._members[0].primary
+            os.kill(victim.pid, signal.SIGKILL)
+            time.sleep(0.3)
+
+            # reads survive (served by the replica or the live shard)
+            after = [_serialize(cluster.query(t)) for t in query_mix]
+            assert after == before
+
+            # a write owned by the dead shard forces the promotion
+            subject = _subject_on_shard(0, 2, start=50_000)
+            cluster.insert(subject, "post_failover", "ok", 30_000)
+            status = cluster.cluster_status()
+            member = status["members"][0]
+            assert member["primary"]["alive"]
+            assert member["primary"]["pid"] != victim.pid
+            assert member["replicas"] == []
+
+            # the promoted primary serves the full pre-kill state
+            final = [_serialize(cluster.query(t)) for t in query_mix]
+            assert final == before
+            result = cluster.query(
+                f"SELECT ?o {{{subject} post_failover ?o ?t}}"
+            )
+            assert [r["o"] for r in result.rows] == ["ok"]
+
+
+class TestClusterReporting:
+    def test_status_shape_and_storage_report(self, tmp_path):
+        with ClusterStore(tmp_path / "clu", shards=2, replicas=1,
+                          fsync=False) as cluster:
+            cluster.insert("a", "p", "v", 1000)
+            status = cluster.cluster_status()
+            assert status["shards"] == 2
+            assert status["replicas_per_shard"] == 1
+            assert len(status["members"]) == 2
+            for member in status["members"]:
+                assert member["primary"]["role"] == "shard"
+                assert member["primary"]["alive"]
+                assert len(member["replicas"]) == 1
+            assert cluster.storage_report()["cluster"]["shards"] == 2
+            assert cluster.live_facts == 1

@@ -1,0 +1,195 @@
+"""Shard-planner determinism and routing properties.
+
+The whole cluster design leans on one fact: shard assignment is a pure
+function of (subject, shard count).  If it drifted across runs, processes
+or pickles, restarted coordinators would route reads to shards that do
+not hold the data — silently returning partial results.  These tests pin
+that determinism, plus the routing contracts the executor relies on.
+"""
+
+from __future__ import annotations
+
+import pickle
+import subprocess
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.planner import ShardPlanner, shard_of
+from repro.model.graph import TemporalGraph
+from repro.sparqlt.ast import QuadPattern, TermConst, Var
+
+TERMS = st.text(
+    st.characters(blacklist_categories=("Cs",)), min_size=1, max_size=40
+)
+
+
+def _graph(rows):
+    graph = TemporalGraph()
+    for index, (s, p, o) in enumerate(rows):
+        graph.add(s, p, o, 100 + index)
+    return graph
+
+
+class TestShardOf:
+    @given(TERMS, st.integers(min_value=1, max_value=64))
+    def test_in_range(self, term, shards):
+        assert 0 <= shard_of(term, shards) < shards
+
+    @given(TERMS, st.integers(min_value=1, max_value=64))
+    def test_stable_within_process(self, term, shards):
+        assert shard_of(term, shards) == shard_of(term, shards)
+
+    def test_single_shard_owns_everything(self):
+        assert shard_of("anything", 1) == 0
+
+    def test_rejects_zero_shards(self):
+        try:
+            shard_of("x", 0)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_stable_across_interpreters(self):
+        # PYTHONHASHSEED varies string hash() per process; crc32 must
+        # not.  A fresh interpreter must compute identical assignments.
+        terms = ["alpha", "beta", "élève", "p3", ""]
+        local = [shard_of(t, 4) for t in terms if t]
+        code = (
+            "import sys, zlib; sys.path.insert(0, 'src'); "
+            "from repro.cluster.planner import shard_of; "
+            "print([shard_of(t, 4) for t in "
+            f"{[t for t in terms if t]!r}])"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            cwd=str(__import__("pathlib").Path(__file__).parent.parent),
+            check=True,
+        )
+        assert eval(out.stdout.strip()) == local  # noqa: S307 - own output
+
+
+class TestPartitionDeterminism:
+    @given(
+        st.lists(st.tuples(TERMS, TERMS, TERMS), max_size=30),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_same_dataset_same_assignment(self, rows, shards):
+        parts_a = ShardPlanner(shards).partition(_graph(rows))
+        parts_b = ShardPlanner(shards).partition(_graph(rows))
+        keyed_a = [sorted(
+            (t.subject, t.predicate, t.object, t.period.start)
+            for t in part.triples()
+        ) for part in parts_a]
+        keyed_b = [sorted(
+            (t.subject, t.predicate, t.object, t.period.start)
+            for t in part.triples()
+        ) for part in parts_b]
+        assert keyed_a == keyed_b
+
+    @given(
+        st.lists(st.tuples(TERMS, TERMS, TERMS), max_size=30),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_partition_is_disjoint_and_complete(self, rows, shards):
+        graph = _graph(rows)
+        parts = ShardPlanner(shards).partition(graph)
+        merged = sorted(
+            (t.subject, t.predicate, t.object, t.period.start)
+            for part in parts for t in part.triples()
+        )
+        assert merged == sorted(
+            (t.subject, t.predicate, t.object, t.period.start)
+            for t in graph.triples()
+        )
+        for shard, part in enumerate(parts):
+            for triple in part.triples():
+                assert shard_of(triple.subject, shards) == shard
+
+    @given(
+        st.lists(st.tuples(TERMS, TERMS, TERMS), max_size=30),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pickle_round_trip_preserves_routing(self, rows, shards):
+        planner = ShardPlanner(shards)
+        planner.partition(_graph(rows))
+        clone = pickle.loads(pickle.dumps(planner))
+        assert clone.shards == planner.shards
+        assert clone.predicate_map == planner.predicate_map
+        for s, p, _o in rows:
+            pattern = QuadPattern(
+                Var("s"), TermConst(p), Var("o"), Var("t")
+            )
+            assert (clone.shards_for_pattern(pattern)
+                    == planner.shards_for_pattern(pattern))
+            assert clone.note_write(s, p) == planner.note_write(s, p)
+
+
+class TestRouting:
+    def test_bound_subject_routes_to_owner(self):
+        planner = ShardPlanner(4)
+        pattern = QuadPattern(
+            TermConst("p3"), Var("p"), Var("o"), Var("t")
+        )
+        assert planner.shards_for_pattern(pattern) == [shard_of("p3", 4)]
+
+    def test_bound_predicate_prunes_to_known_owners(self):
+        planner = ShardPlanner(4)
+        planner.partition(_graph([("a", "livesIn", "x"),
+                                  ("b", "worksAt", "y")]))
+        pattern = QuadPattern(
+            Var("s"), TermConst("livesIn"), Var("o"), Var("t")
+        )
+        assert planner.shards_for_pattern(pattern) == [shard_of("a", 4)]
+
+    def test_unknown_predicate_broadcasts(self):
+        planner = ShardPlanner(4)
+        pattern = QuadPattern(
+            Var("s"), TermConst("never-seen"), Var("o"), Var("t")
+        )
+        assert planner.shards_for_pattern(pattern) == [0, 1, 2, 3]
+
+    def test_unbound_everything_broadcasts(self):
+        planner = ShardPlanner(3)
+        pattern = QuadPattern(Var("s"), Var("p"), Var("o"), Var("t"))
+        assert planner.shards_for_pattern(pattern) == [0, 1, 2]
+
+    def test_note_write_extends_predicate_map(self):
+        planner = ShardPlanner(4)
+        shard = planner.note_write("subj", "pred")
+        assert shard == shard_of("subj", 4)
+        assert planner.predicate_map["pred"] == [shard]
+
+    def test_single_shard_for_colocated_constants(self):
+        planner = ShardPlanner(4)
+        subjects = ["a", "b", "c", "d", "e", "f"]
+        owner = shard_of(subjects[0], 4)
+        same = [s for s in subjects if shard_of(s, 4) == owner]
+        patterns = [
+            QuadPattern(TermConst(s), Var("p"), Var("o"), Var("t"))
+            for s in same
+        ]
+        assert planner.single_shard_for(patterns) == owner
+
+    def test_single_shard_for_mixed_is_none(self):
+        planner = ShardPlanner(4)
+        subjects = ["a", "b", "c", "d", "e", "f"]
+        owners = {shard_of(s, 4) for s in subjects}
+        assert len(owners) > 1, "test needs subjects on distinct shards"
+        patterns = [
+            QuadPattern(TermConst(s), Var("p"), Var("o"), Var("t"))
+            for s in subjects
+        ]
+        assert planner.single_shard_for(patterns) is None
+
+    def test_single_shard_for_unbound_subject_is_none(self):
+        planner = ShardPlanner(4)
+        patterns = [
+            QuadPattern(Var("s"), TermConst("p"), Var("o"), Var("t"))
+        ]
+        assert planner.single_shard_for(patterns) is None

@@ -51,6 +51,25 @@ class TestRoutes:
         assert body["status"] == "ok"
         assert body["revision"] == 0
         assert body["live_facts"] == 3
+        # cluster-awareness fields: a plain store is a standalone node
+        # with no shard id and no topology section.
+        assert body["role"] == "standalone"
+        assert body["shard_id"] is None
+        assert body["applied_lsn"] == body["revision"]
+        assert "cluster" not in body
+
+    def test_healthz_reports_role_and_shard(self, store):
+        svc = serve(store, port=0, role="shard", shard_id=2)
+        thread = threading.Thread(target=svc.serve_forever, daemon=True)
+        thread.start()
+        try:
+            status, body = _request(svc, "GET", "/healthz")
+            assert status == 200
+            assert body["role"] == "shard"
+            assert body["shard_id"] == 2
+        finally:
+            svc.shutdown()
+            thread.join(timeout=10)
 
     def test_metrics_json(self, service):
         status, body = _request(service, "GET", "/metrics")
