@@ -169,6 +169,9 @@ class _Member:
         self.replicas: list[ShardClient] = []
         #: last LSN acknowledged by the primary (pins replica reads).
         self.acked_lsn = 0
+        #: serializes promotion — concurrent readers may all observe the
+        #: same dead primary, and exactly one of them must promote.
+        self.failover_lock = threading.Lock()
         self._rr = 0
 
     def next_replica(self) -> ShardClient | None:
@@ -284,15 +287,26 @@ class ClusterStore:
         )
 
     def _bootstrap_watermarks(self) -> None:
-        """Adopt revision/time state from pre-existing shard directories."""
+        """Adopt revision/time state from pre-existing shard directories.
+
+        Also rebuilds the planner's predicate map from shard-side
+        inventories: a restarted coordinator starts with an incomplete
+        map (which must broadcast), and only this rebuild makes
+        predicate pruning sound again over pre-loaded data.
+        """
         self._watermark = 0
         self._time_watermark = MIN_TIME
         self._horizon = 1
+        inventories: list[list[str]] = []
         for member in self._members:
             status = member.primary.rpc({"op": "status"})
             member.acked_lsn = status["revision"]
             self._watermark += status["revision"]
             self._horizon = max(self._horizon, status["horizon"])
+            inventories.append(
+                member.primary.rpc({"op": "predicates"})["predicates"]
+            )
+        self.planner.rebuild_predicate_map(inventories)
         self._time_watermark = max(MIN_TIME, self._horizon - 1)
         if _metrics.ENABLED:
             _WATERMARK.set(self._watermark)
@@ -301,63 +315,90 @@ class ClusterStore:
 
     def _rpc_primary(self, member: _Member, payload: dict,
                      timeout: float | None = None) -> dict:
-        """RPC to a shard's primary, promoting a replica on a dead one."""
+        """RPC to a shard's primary, promoting a replica on a dead one.
+
+        Loops: each connection failure triggers one (double-checked)
+        failover and a retry against whatever primary the member then
+        has.  Termination is guaranteed because every failover that acts
+        consumes a replica, and an exhausted member raises
+        :class:`ShardDown`.
+        """
         started = _time.perf_counter()
+        attempt = 0
         try:
-            with _trace.span("cluster.rpc", shard=member.shard_id,
-                             op=payload.get("op")):
-                return member.primary.rpc(payload, timeout=timeout)
-        except (OSError, ProtocolError) as error:
-            if _metrics.ENABLED:
-                _RPC_ERRORS.inc()
-            self._failover(member, error)
-            with _trace.span("cluster.rpc.retry", shard=member.shard_id,
-                             op=payload.get("op")):
-                return member.primary.rpc(payload, timeout=timeout)
+            while True:
+                primary = member.primary
+                name = "cluster.rpc" if attempt == 0 else "cluster.rpc.retry"
+                try:
+                    with _trace.span(name, shard=member.shard_id,
+                                     op=payload.get("op")):
+                        return primary.rpc(payload, timeout=timeout)
+                except (OSError, ProtocolError) as error:
+                    if _metrics.ENABLED:
+                        _RPC_ERRORS.inc()
+                    self._failover(member, primary, error)
+                    attempt += 1
         finally:
             if _metrics.ENABLED:
                 _RPC_HIST.observe(
                     (_time.perf_counter() - started) * 1000.0
                 )
 
-    def _failover(self, member: _Member, cause: Exception) -> None:
-        """Promote a replica of ``member`` to primary (or give up)."""
-        dead = member.primary
-        dead.close()
-        wal_path = str(dead.directory / TemporalStore.WAL_NAME)
-        _obslog.LOGGER.warning(
-            "cluster_failover", shard=member.shard_id, cause=str(cause),
-            dead_pid=dead.pid,
-        )
-        while member.replicas:
-            candidate = member.replicas.pop(0)
-            try:
-                candidate.rpc(
-                    {"op": "promote", "wal_path": wal_path}, timeout=30.0
-                )
-            except (OSError, ProtocolError) as error:
-                _obslog.LOGGER.warning(
-                    "cluster_promote_failed", shard=member.shard_id,
-                    error=str(error),
-                )
-                candidate.close()
-                continue
-            member.primary = candidate
-            if _metrics.ENABLED:
-                _FAILOVERS.inc()
+    def _failover(self, member: _Member, dead: ShardClient,
+                  cause: Exception) -> None:
+        """Promote a replica of ``member`` to primary (or give up).
+
+        Double-checked under the member's failover lock: concurrent
+        readers hitting the same dead primary all land here, but only
+        the thread still seeing ``dead`` as the member's primary
+        promotes — the rest return and retry against the fresh primary,
+        instead of closing it and burning another replica.
+        """
+        with member.failover_lock:
+            if member.primary is not dead:
+                return  # another thread already promoted; just retry
+            dead.close()
+            wal_path = str(dead.directory / TemporalStore.WAL_NAME)
             _obslog.LOGGER.warning(
-                "cluster_promoted", shard=member.shard_id,
-                new_pid=candidate.pid,
+                "cluster_failover", shard=member.shard_id,
+                cause=str(cause), dead_pid=dead.pid,
             )
-            return
-        if _metrics.ENABLED:
-            _SHARDS_ALIVE.set(
-                sum(1 for m in self._members if m.primary.alive)
-            )
-        raise ShardDown(
-            f"shard {member.shard_id} is down and no replica could be "
-            f"promoted"
-        ) from cause
+            while member.replicas:
+                candidate = member.replicas.pop(0)
+                try:
+                    response = candidate.rpc(
+                        {"op": "promote", "wal_path": wal_path},
+                        timeout=30.0,
+                    )
+                except (OSError, ProtocolError) as error:
+                    _obslog.LOGGER.warning(
+                        "cluster_promote_failed", shard=member.shard_id,
+                        error=str(error),
+                    )
+                    candidate.close()
+                    continue
+                member.primary = candidate
+                # The promoted primary may hold acknowledged writes the
+                # dead one shipped but never reported; adopt its applied
+                # LSN so replica pins and update recovery observe them.
+                member.acked_lsn = max(
+                    member.acked_lsn, response.get("revision", 0)
+                )
+                if _metrics.ENABLED:
+                    _FAILOVERS.inc()
+                _obslog.LOGGER.warning(
+                    "cluster_promoted", shard=member.shard_id,
+                    new_pid=candidate.pid,
+                )
+                return
+            if _metrics.ENABLED:
+                _SHARDS_ALIVE.set(
+                    sum(1 for m in self._members if m.primary.alive)
+                )
+            raise ShardDown(
+                f"shard {member.shard_id} is down and no replica could "
+                f"be promoted"
+            ) from cause
 
     def _rpc_read(self, member: _Member, payload: dict) -> dict:
         """A read RPC: replica round-robin with primary fallback.
@@ -411,6 +452,13 @@ class ClusterStore:
         with _trace.span("cluster.query"):
             query = parse(text) if isinstance(text, str) else text
             target = _dist.whole_query_shard(query, self.planner)
+            if (target is not None and not isinstance(text, str)
+                    and not query.is_simple):
+                # encode_query carries only the simple conjunctive shape
+                # (select/patterns/filters); forwarding a pre-parsed
+                # UNION/OPTIONAL query would silently drop its group
+                # algebra, so it goes through the distributed path.
+                target = None
             watermark = self._watermark
             if target is not None:
                 if _metrics.ENABLED:
@@ -506,7 +554,21 @@ class ClusterStore:
             }
             if trace_id is not None:
                 payload["trace_id"] = trace_id
-            response = self._rpc_primary(member, payload)
+            acked_before = member.acked_lsn
+            primary_before = member.primary
+            try:
+                response = self._rpc_primary(member, payload)
+            except (DuplicateKeyError, KeyError) as conflict:
+                if member.primary is primary_before:
+                    raise  # genuine conflict from a healthy primary
+                # The old primary may have applied (and shipped) the
+                # write before dying without replying; a conflict from
+                # the retried RPC on the promoted primary can then be
+                # the write itself.  Only its WAL can tell.
+                response = self._recover_update(member, payload,
+                                                acked_before)
+                if response is None:
+                    raise conflict
             member.acked_lsn = response["revision"]
             self._watermark += 1
             self._time_watermark = max(self._time_watermark, time)
@@ -515,6 +577,40 @@ class ClusterStore:
                 _UPDATES.inc()
                 _WATERMARK.set(self._watermark)
             return self._watermark
+
+    def _recover_update(self, member: _Member, payload: dict,
+                        acked_before: int) -> dict | None:
+        """Decide whether a conflicting post-failover retry committed.
+
+        The promoted primary caught up from the dead primary's WAL, so
+        an update that was applied but never acknowledged appears in its
+        log past the pre-write acked LSN.  Returns a synthesized success
+        response when the exact record is found — the write committed,
+        and surfacing a 409 would misreport it — or ``None`` for a
+        genuine conflict.  A promoted primary that already checkpointed
+        (truncating the record) conservatively reports the conflict.
+        """
+        wanted = (payload["update"], payload["subject"],
+                  payload["predicate"], payload["object"],
+                  payload["time"])
+        try:
+            shipped = self._rpc_primary(
+                member, {"op": "wal_since", "lsn": acked_before}
+            )
+            status = self._rpc_primary(member, {"op": "status"})
+        except StoreError:
+            return None
+        for fields in shipped.get("records", []):
+            record = protocol.decode_wal_record(fields)
+            if (record.op, record.subject, record.predicate,
+                    record.object, record.time) == wanted:
+                _obslog.LOGGER.warning(
+                    "cluster_update_recovered", shard=member.shard_id,
+                    lsn=record.lsn,
+                )
+                return {"ok": True, "lsn": record.lsn,
+                        "revision": status["revision"]}
+        return None
 
     # -------------------------------------------------------------- loading
 
@@ -592,10 +688,18 @@ class ClusterStore:
             waited += 0.05
 
     def refresh_statistics(self) -> bool:
+        """Eagerly rebuild optimizer statistics on every primary.
+
+        Dispatches the dedicated ``refresh_stats`` op — *not* a
+        checkpoint: checkpoints truncate WALs and belong behind
+        :meth:`checkpoint`'s replica catch-up wait.
+        """
+        if self._closed:
+            raise StoreError("store is closed")
         refreshed = False
         for member in self._members:
-            self._rpc_primary(member, {"op": "checkpoint"})
-            refreshed = True
+            response = self._rpc_primary(member, {"op": "refresh_stats"})
+            refreshed = bool(response.get("refreshed")) or refreshed
         return refreshed
 
     # ------------------------------------------------------------ reporting

@@ -9,12 +9,20 @@ process (PYTHONHASHSEED), and a shard map that moves between runs would
 orphan every triple on restart.
 
 Patterns with an unbound subject cannot be routed by subject; the planner
-falls back to the **predicate map** built during partitioning (predicate
--> shards that hold at least one triple with it, maintained on writes).
-A predicate-bound pattern then fans out only to the shards that can
-possibly match; anything less constrained broadcasts to all shards —
-always correct, since shards are disjoint by subject and partial results
-union cleanly.
+falls back to the **predicate map** (predicate -> shards that hold at
+least one triple with it, maintained on writes).  Pruning by the map is
+only sound while the map is **complete** — covering every triple the
+cluster holds — which is true exactly when it was built by
+:meth:`ShardPlanner.partition` (bulk load) or rebuilt from shard-side
+inventories via :meth:`ShardPlanner.rebuild_predicate_map` (coordinator
+bootstrap over pre-existing shard directories).  Before that,
+``note_write`` entries are additive hints only: a restarted coordinator
+that has observed one write of predicate P must not route P to that one
+shard while pre-loaded P triples live elsewhere, so an incomplete map
+broadcasts.  A predicate-bound pattern under a complete map fans out only
+to the shards that can possibly match; anything less constrained
+broadcasts to all shards — always correct, since shards are disjoint by
+subject and partial results union cleanly.
 """
 
 from __future__ import annotations
@@ -49,6 +57,11 @@ class ShardPlanner:
         self.shards = shards
         #: predicate -> sorted shard ids holding at least one such triple.
         self.predicate_map: dict[str, list[int]] = {}
+        #: True only while the map covers *every* triple in the cluster
+        #: (set by :meth:`partition` / :meth:`rebuild_predicate_map`).
+        #: A fresh planner over pre-existing shard directories starts
+        #: incomplete, and an incomplete map must never prune.
+        self.predicate_map_complete = False
 
     # ---------------------------------------------------------- partitioning
 
@@ -73,10 +86,40 @@ class ShardPlanner:
             predicate: sorted(owners)
             for predicate, owners in sorted(predicate_shards.items())
         }
+        self.predicate_map_complete = True
         return parts
 
+    def rebuild_predicate_map(self, inventories: list[list[str]]) -> None:
+        """Rebuild the map from per-shard predicate inventories.
+
+        ``inventories[shard]`` lists the distinct predicates that shard
+        holds.  The coordinator calls this at bootstrap, so a restart
+        over pre-existing shard directories regains a complete —
+        pruning-capable — map instead of the incomplete one that
+        ``note_write`` alone would accumulate.
+        """
+        if len(inventories) != self.shards:
+            raise ValueError(
+                f"expected {self.shards} inventories, "
+                f"got {len(inventories)}"
+            )
+        predicate_shards: dict[str, set[int]] = {}
+        for shard, predicates in enumerate(inventories):
+            for predicate in predicates:
+                predicate_shards.setdefault(predicate, set()).add(shard)
+        self.predicate_map = {
+            predicate: sorted(owners)
+            for predicate, owners in sorted(predicate_shards.items())
+        }
+        self.predicate_map_complete = True
+
     def note_write(self, subject: str, predicate: str) -> int:
-        """Record a write's predicate in the map; returns the owner shard."""
+        """Record a write's predicate in the map; returns the owner shard.
+
+        Entries are additive: they keep a complete map complete, and on
+        an incomplete map they are inert hints (routing broadcasts until
+        :meth:`partition` or :meth:`rebuild_predicate_map` runs).
+        """
         shard = shard_of(subject, self.shards)
         owners = self.predicate_map.setdefault(predicate, [])
         if shard not in owners:
@@ -90,17 +133,21 @@ class ShardPlanner:
         """The shards that must be consulted for ``pattern``.
 
         Bound subject -> exactly its owner.  Unbound subject but bound
-        predicate -> the predicate's known owners (possibly none).  The
-        predicate map is only a *pruning* aid: when it has no entry for a
-        bound predicate the pattern still broadcasts, because an empty
-        map also arises from a coordinator restarted over pre-loaded
-        shard directories, where routing must stay correct without it.
+        predicate -> the predicate's known owners, but only while the
+        map is complete: an incomplete map (coordinator restarted over
+        pre-loaded shard directories, before ``rebuild_predicate_map``)
+        may know only the shards written *since startup*, and pruning by
+        it would silently drop pre-loaded triples on other shards — so
+        it broadcasts instead.  A complete map with no entry for the
+        predicate still broadcasts, which is always correct, just
+        conservative.
         """
         if isinstance(pattern.subject, TermConst):
             return [shard_of(pattern.subject.value, self.shards)]
-        if isinstance(pattern.predicate, TermConst):
+        if isinstance(pattern.predicate, TermConst) \
+                and self.predicate_map_complete:
             owners = self.predicate_map.get(pattern.predicate.value)
-            if owners is not None and self.predicate_map:
+            if owners is not None:
                 return list(owners)
         return list(range(self.shards))
 

@@ -362,6 +362,16 @@ def _op_checkpoint(state: _WorkerState, payload: dict) -> dict:
     return {"ok": True, "revision": state.store.revision}
 
 
+def _op_refresh_stats(state: _WorkerState, payload: dict) -> dict:
+    return {"ok": True, "refreshed": state.store.refresh_statistics()}
+
+
+def _op_predicates(state: _WorkerState, payload: dict) -> dict:
+    """This member's predicate inventory (coordinator bootstrap uses it
+    to rebuild the planner's routing map over pre-existing data)."""
+    return {"ok": True, "predicates": state.store.predicates()}
+
+
 def _op_metrics(state: _WorkerState, payload: dict) -> dict:
     return {"ok": True, "metrics": _metrics.REGISTRY.snapshot()}
 
@@ -382,6 +392,8 @@ _OPS = {
     "resync": _op_resync,
     "promote": _op_promote,
     "checkpoint": _op_checkpoint,
+    "refresh_stats": _op_refresh_stats,
+    "predicates": _op_predicates,
     "metrics": _op_metrics,
     "shutdown": _op_shutdown,
 }

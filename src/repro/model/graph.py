@@ -167,6 +167,12 @@ class TemporalGraph:
         """Iterate decoded temporal triples."""
         return (self.decode(t) for t in self._triples)
 
+    def predicates(self) -> list[str]:
+        """Sorted distinct predicate terms across the whole history."""
+        decode = self.dictionary.decode
+        return sorted(decode(pid) for pid in
+                      {t.predicate for t in self._triples})
+
     def history_of(
         self, subject: str, predicate: str | None = None
     ) -> list[TemporalTriple]:

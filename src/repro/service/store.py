@@ -394,6 +394,17 @@ class TemporalStore:
     def live_facts(self) -> int:
         return self.engine.indexes["spo"].live_records
 
+    def predicates(self) -> list[str]:
+        """Distinct predicate terms present at any time, sorted.
+
+        The cluster coordinator rebuilds its predicate routing map from
+        this inventory at bootstrap; runs under the read lock so the
+        walk cannot race a concurrent update.
+        """
+        with self._rw.read_locked():
+            graph = self.engine._graph
+            return graph.predicates() if graph is not None else []
+
     @property
     def cached_results(self) -> int | None:
         """Entries currently in the result cache (None when disabled)."""

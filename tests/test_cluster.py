@@ -144,6 +144,45 @@ class TestClusterUpdates:
                 cluster.insert(s1, "q", "c", 900)
             assert cluster.revision == 2
 
+    def test_restart_preserves_predicate_routing(self, tmp_path):
+        """A restarted coordinator must not let its first write of a
+        predicate shadow pre-existing triples of that predicate living
+        on other shards (the predicate map is rebuilt from shard-side
+        inventories at bootstrap)."""
+        s0 = _subject_on_shard(0, 2)
+        s1 = _subject_on_shard(1, 2, start=10_000)
+        with ClusterStore(tmp_path / "clu", shards=2,
+                          fsync=False) as cluster:
+            cluster.insert(s0, "p", "a", 1000)
+            cluster.insert(s1, "p", "b", 1001)
+        with ClusterStore(tmp_path / "clu", shards=2,
+                          fsync=False) as cluster:
+            # the poisoning write: predicate "p" observed on shard 0
+            # only — routing must still consult shard 1
+            cluster.insert(s0, "p", "x", 2000)
+            result = cluster.query("SELECT ?s ?o {?s p ?o ?t}")
+            assert sorted((r["s"], r["o"]) for r in result.rows) == sorted(
+                [(s0, "a"), (s1, "b"), (s0, "x")]
+            )
+
+    def test_parsed_union_query_matches_text(self, tmp_path):
+        """A pre-parsed UNION query must not take the lossy object fast
+        path (encode_query only carries the conjunctive shape)."""
+        from repro.sparqlt.parser import parse
+
+        with ClusterStore(tmp_path / "clu", shards=1,
+                          fsync=False) as cluster:
+            cluster.insert("uc", "president", "carol", 1000)
+            cluster.insert("um", "president", "santa", 1001)
+            text = ("SELECT ?who { {uc president ?who ?t} "
+                    "UNION {um president ?who ?t} }")
+            via_text = _serialize(cluster.query(text))
+            via_object = _serialize(cluster.query(parse(text)))
+            assert via_object == via_text
+            assert sorted(r[0] for r in via_object["rows"]) == [
+                "carol", "santa"
+            ]
+
     def test_delete_and_readback(self, tmp_path):
         with ClusterStore(tmp_path / "clu", shards=2,
                           fsync=False) as cluster:
@@ -208,6 +247,74 @@ class TestClusterFailover:
                 f"SELECT ?o {{{subject} post_failover ?o ?t}}"
             )
             assert [r["o"] for r in result.rows] == ["ok"]
+
+
+    def test_failover_retry_of_committed_write_is_idempotent(
+        self, tmp_path
+    ):
+        """A write the primary applied and shipped — but never
+        acknowledged — must not surface as a conflict when retried on
+        the promoted replica."""
+        with ClusterStore(tmp_path / "clu", shards=1, replicas=1,
+                          fsync=False) as cluster:
+            member = cluster._members[0]
+            subject = _subject_on_shard(0, 1)
+            # Simulate the applied-but-unacknowledged state: write
+            # straight to the primary, bypassing the coordinator's
+            # bookkeeping (acked_lsn stays 0).
+            member.primary.rpc({
+                "op": "update", "update": "insert", "subject": subject,
+                "predicate": "p", "object": "v", "time": 1000,
+            })
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if member.replicas[0].rpc(
+                    {"op": "status"}
+                )["revision"] >= 1:
+                    break
+                time.sleep(0.05)
+            os.kill(member.primary.pid, signal.SIGKILL)
+            time.sleep(0.2)
+            # The coordinator-level retry of the "same" write: failover
+            # promotes the replica, the retry conflicts there, and the
+            # promoted WAL proves the write committed.
+            assert cluster.insert(subject, "p", "v", 1000) == 1
+            assert member.acked_lsn == 1
+            result = cluster.query(f"SELECT ?o {{{subject} p ?o ?t}}")
+            assert [r["o"] for r in result.rows] == ["v"]
+
+    def test_failover_is_noop_when_primary_already_replaced(
+        self, tmp_path
+    ):
+        """The double-check: a thread that lost the failover race must
+        not close the freshly promoted primary or consume a replica."""
+        with ClusterStore(tmp_path / "clu", shards=1, replicas=1,
+                          fsync=False) as cluster:
+            member = cluster._members[0]
+            primary, replicas = member.primary, list(member.replicas)
+            stale = object()  # what a losing thread would still hold
+            cluster._failover(member, stale, OSError("stale view"))
+            assert member.primary is primary
+            assert member.primary.alive
+            assert member.replicas == replicas
+
+
+class TestClusterMaintenance:
+    def test_refresh_statistics_uses_stats_op_not_checkpoint(
+        self, tmp_path
+    ):
+        from repro.service.wal import read_records
+
+        with ClusterStore(tmp_path / "clu", shards=1,
+                          fsync=False) as cluster:
+            cluster.insert("a", "p", "v", 1000)
+            cluster.insert("a", "q", "w", 1001)
+            refreshed = cluster.refresh_statistics()
+            assert isinstance(refreshed, bool)
+            # a checkpoint would have truncated the primary's WAL
+            wal = cluster._members[0].primary.directory \
+                / TemporalStore.WAL_NAME
+            assert len(read_records(wal)) == 2
 
 
 class TestClusterReporting:

@@ -165,6 +165,41 @@ class TestRouting:
         assert shard == shard_of("subj", 4)
         assert planner.predicate_map["pred"] == [shard]
 
+    def test_incomplete_map_never_prunes(self):
+        # The restart scenario: a fresh planner over pre-loaded shard
+        # directories sees a first write of predicate P and must NOT
+        # route P-bound patterns to that one shard — pre-loaded P
+        # triples may live anywhere.
+        planner = ShardPlanner(4)
+        planner.note_write("subj", "pred")
+        pattern = QuadPattern(
+            Var("s"), TermConst("pred"), Var("o"), Var("t")
+        )
+        assert planner.shards_for_pattern(pattern) == [0, 1, 2, 3]
+
+    def test_rebuild_predicate_map_enables_pruning(self):
+        planner = ShardPlanner(4)
+        planner.rebuild_predicate_map(
+            [["livesIn"], [], ["livesIn", "worksAt"], []]
+        )
+        lives = QuadPattern(
+            Var("s"), TermConst("livesIn"), Var("o"), Var("t")
+        )
+        works = QuadPattern(
+            Var("s"), TermConst("worksAt"), Var("o"), Var("t")
+        )
+        assert planner.shards_for_pattern(lives) == [0, 2]
+        assert planner.shards_for_pattern(works) == [2]
+
+    def test_rebuild_rejects_wrong_inventory_count(self):
+        planner = ShardPlanner(4)
+        try:
+            planner.rebuild_predicate_map([["p"]])
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
     def test_single_shard_for_colocated_constants(self):
         planner = ShardPlanner(4)
         subjects = ["a", "b", "c", "d", "e", "f"]

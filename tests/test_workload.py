@@ -77,12 +77,19 @@ class TestFingerprint:
     @given(var_a=IDENT, var_b=IDENT)
     def test_variable_topology_determines_the_shape(self, var_a, var_b):
         """Consistent renaming never changes the shape; collapsing two
-        distinct variables into one always does."""
+        distinct variables into one always does.
+
+        Suffixes keep the three generated names pairwise distinct no
+        matter what hypothesis draws — e.g. ``var_a = "t"`` bare would
+        collide with the time variable and genuinely change the shape.
+        """
         distinct = fingerprint_text(
-            f"SELECT ?{var_a} {{?{var_a} president ?{var_b}_2 ?t}}"
+            f"SELECT ?{var_a}_1 "
+            f"{{?{var_a}_1 president ?{var_b}_2 ?{var_a}_t}}"
         )
         repeated = fingerprint_text(
-            f"SELECT ?{var_a} {{?{var_a} president ?{var_a} ?t}}"
+            f"SELECT ?{var_a}_1 "
+            f"{{?{var_a}_1 president ?{var_a}_1 ?{var_a}_t}}"
         )
         canonical_distinct = fingerprint_text(
             "SELECT ?a {?a president ?b ?t}"
