@@ -46,6 +46,7 @@ from ..mvbt.tree import DuplicateKeyError, TimeOrderError
 from ..obs import log as _obslog
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
+from ..service.sanitizer import sanitized_lock
 from ..service.store import StoreError, TemporalStore
 from ..sparqlt.ast import Query
 from ..sparqlt.parser import parse
@@ -104,7 +105,10 @@ class ShardClient:
         self.directory = directory
         self.timeout = timeout
         self._idle: list[socket.socket] = []
-        self._lock = threading.Lock()
+        #: guards only the free-list; never held across send/recv.
+        self._lock = sanitized_lock(
+            threading.Lock(), "cluster.client.pool", allow_blocking=False
+        )
         self.alive = True
 
     def rpc(self, payload: dict, timeout: float | None = None) -> dict:
@@ -139,7 +143,11 @@ class ShardClient:
             if self._idle:
                 return self._idle.pop()
         sock = socket.create_connection(self.address, timeout=self.timeout)
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            sock.close()
+            raise
         return sock
 
     def _checkin(self, sock: socket.socket) -> None:
@@ -171,7 +179,10 @@ class _Member:
         self.acked_lsn = 0
         #: serializes promotion — concurrent readers may all observe the
         #: same dead primary, and exactly one of them must promote.
-        self.failover_lock = threading.Lock()
+        #: Held across the promote RPC on purpose (allow_blocking).
+        self.failover_lock = sanitized_lock(
+            threading.Lock(), "cluster.member.failover", allow_blocking=True
+        )
         self._rr = 0
 
     def next_replica(self) -> ShardClient | None:
@@ -225,7 +236,10 @@ class ClusterStore:
         self._procs: list = []
         self._members: list[_Member] = []
         #: serializes writes (and the watermark/time-watermark bumps).
-        self._writer = threading.Lock()
+        #: Shard RPCs run under it by design (allow_blocking).
+        self._writer = sanitized_lock(
+            threading.Lock(), "cluster.writer", allow_blocking=True
+        )
         self._closed = False
         self._scatter_pool = ThreadPoolExecutor(
             max_workers=max(4, 2 * shards),
@@ -266,20 +280,26 @@ class ClusterStore:
 
     def _spawn_worker(self, config: WorkerConfig) -> ShardClient:
         parent, child = self._ctx.Pipe()
-        proc = self._ctx.Process(
-            target=worker_main, args=(config, child), daemon=True,
-            name=f"repro-{config.role}-{config.shard_id}",
-        )
-        proc.start()
-        child.close()
-        if not parent.poll(self._start_timeout):
-            proc.terminate()
-            raise StoreError(
-                f"worker for shard {config.shard_id} ({config.role}) did "
-                f"not report ready within {self._start_timeout}s"
+        try:
+            proc = self._ctx.Process(
+                target=worker_main, args=(config, child), daemon=True,
+                name=f"repro-{config.role}-{config.shard_id}",
             )
-        info = parent.recv()
-        parent.close()
+            proc.start()
+            if not parent.poll(self._start_timeout):
+                proc.terminate()
+                proc.join(timeout=2.0)
+                raise StoreError(
+                    f"worker for shard {config.shard_id} ({config.role}) "
+                    f"did not report ready within {self._start_timeout}s"
+                )
+            info = parent.recv()
+        finally:
+            # Both pipe ends close on every exit: the worker holds its
+            # own duplicate of ``child``, and ``parent`` has served its
+            # one ready-handshake message.
+            child.close()
+            parent.close()
         self._procs.append(proc)
         return ShardClient(
             ("127.0.0.1", info["port"]), info["pid"],
@@ -366,7 +386,10 @@ class ClusterStore:
             while member.replicas:
                 candidate = member.replicas.pop(0)
                 try:
-                    response = candidate.rpc(
+                    # Intentional hold: promotion must finish under the
+                    # member lock or a concurrent writer could route to
+                    # a half-promoted replica; bounded by the timeout.
+                    response = candidate.rpc(  # repro-lint: disable=RL013
                         {"op": "promote", "wal_path": wal_path},
                         timeout=30.0,
                     )
@@ -557,7 +580,10 @@ class ClusterStore:
             acked_before = member.acked_lsn
             primary_before = member.primary
             try:
-                response = self._rpc_primary(member, payload)
+                # Intentional hold: the writer lock serialises updates
+                # cluster-wide, so the shard RPC happens under it by
+                # design; bounded by the per-RPC socket timeout.
+                response = self._rpc_primary(member, payload)  # repro-lint: disable=RL013
             except (DuplicateKeyError, KeyError) as conflict:
                 if member.primary is primary_before:
                     raise  # genuine conflict from a healthy primary
@@ -565,8 +591,10 @@ class ClusterStore:
                 # write before dying without replying; a conflict from
                 # the retried RPC on the promoted primary can then be
                 # the write itself.  Only its WAL can tell.
-                response = self._recover_update(member, payload,
-                                                acked_before)
+                # Intentional hold: recovery re-reads the shard WAL
+                # under the same writer lock as the failed update.
+                response = self._recover_update(  # repro-lint: disable=RL013
+                    member, payload, acked_before)
                 if response is None:
                     raise conflict
             member.acked_lsn = response["revision"]
@@ -630,13 +658,18 @@ class ClusterStore:
                      None if t.period.end == NOW else t.period.end)
                     for t in part.triples()
                 ]
-                self._rpc_primary(
+                # Intentional hold: bulk load is exclusive by contract;
+                # the writer lock stays held across the shard RPCs.
+                self._rpc_primary(  # repro-lint: disable=RL013
                     member, {"op": "load", "rows": rows}, timeout=300.0
                 )
             for member in self._members:
                 for replica in list(member.replicas):
                     try:
-                        replica.rpc({"op": "resync"}, timeout=300.0)
+                        # Intentional hold: replicas resync from the
+                        # just-loaded primary before writes resume.
+                        replica.rpc(  # repro-lint: disable=RL013
+                            {"op": "resync"}, timeout=300.0)
                     except (OSError, ProtocolError) as error:
                         _obslog.LOGGER.warning(
                             "cluster_replica_dead", shard=member.shard_id,
@@ -660,13 +693,16 @@ class ClusterStore:
         if self._closed:
             raise StoreError("store is closed")
         with self._writer:
+            # Intentional holds below: checkpoint needs a write-quiesced
+            # cluster, so the catch-up wait and the checkpoint RPCs all
+            # run under the writer lock; each is deadline-bounded.
             for member in self._members:
                 for replica in member.replicas:
-                    self._wait_for_replica(member, replica)
-                self._rpc_primary(member, {"op": "checkpoint"})
+                    self._wait_for_replica(member, replica)  # repro-lint: disable=RL013
+                self._rpc_primary(member, {"op": "checkpoint"})  # repro-lint: disable=RL013
                 for replica in member.replicas:
                     try:
-                        replica.rpc({"op": "checkpoint"})
+                        replica.rpc({"op": "checkpoint"})  # repro-lint: disable=RL013
                     except (OSError, ProtocolError, StoreError) as error:
                         _obslog.LOGGER.warning(
                             "cluster_replica_checkpoint_failed",

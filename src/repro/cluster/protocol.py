@@ -23,6 +23,7 @@ import socket
 import struct
 
 from ..model.time import NOW, Period, PeriodSet
+from ..service.sanitizer import check_blocking
 from ..service.wal import WalRecord
 from ..sparqlt.ast import (
     And,
@@ -59,6 +60,7 @@ class ProtocolError(Exception):
 
 def send_message(sock: socket.socket, payload: dict) -> None:
     """Write one length-prefixed JSON frame."""
+    check_blocking("protocol.send_message")
     data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
     if len(data) > MAX_FRAME:
         raise ProtocolError(f"frame too large: {len(data)} bytes")
@@ -67,6 +69,7 @@ def send_message(sock: socket.socket, payload: dict) -> None:
 
 def recv_message(sock: socket.socket) -> dict:
     """Read one length-prefixed JSON frame (raises on EOF/truncation)."""
+    check_blocking("protocol.recv_message")
     header = _recv_exact(sock, _LEN.size)
     (length,) = _LEN.unpack(header)
     if length > MAX_FRAME:

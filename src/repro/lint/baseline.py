@@ -72,6 +72,31 @@ class Baseline:
         )
         return len(prints)
 
+    def save_fingerprints(self, path: Path) -> int:
+        """Write the current accepted set back to ``path``."""
+        prints = sorted(self.accepted)
+        path.write_text(
+            json.dumps(
+                {"version": FORMAT_VERSION, "fingerprints": prints},
+                indent=2,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        return len(prints)
+
+    def prune(self, findings: Iterable[Finding]) -> set[str]:
+        """Drop entries no current finding anchors to; returns them.
+
+        A baselined fingerprint goes stale when the offending line was
+        fixed or rewritten — keeping it around silently re-suppresses
+        any future finding that happens to produce the same anchor.
+        """
+        current = set(fingerprints(findings))
+        stale = self.accepted - current
+        self.accepted -= stale
+        return stale
+
     def filter(self, findings: list[Finding]) -> list[Finding]:
         """Findings not covered by the baseline, original order kept."""
         prints = fingerprints(findings)

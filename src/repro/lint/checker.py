@@ -24,9 +24,12 @@ from pathlib import Path
 
 from .baseline import Baseline
 from .rules import ALL_RULES, RULES_BY_ID
-from .rules.base import Finding, Rule
+from .rules.base import Finding, ProjectRule, Rule
 
 DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+#: Version of the ``--format json`` output envelope.
+JSON_SCHEMA_VERSION = 2
 
 #: ``RL000`` marks files the checker itself cannot analyse (syntax errors);
 #: it is not suppressible and has no Rule class.
@@ -152,11 +155,21 @@ def run_lint(
     """All unsuppressed findings for the given paths, stably ordered."""
     active = list(ALL_RULES) if rules is None else rules
     modules, findings = collect_modules(paths, root=root)
+    by_path = {module.logical_path: module for module in modules}
     for module in modules:
         for rule in active:
+            if isinstance(rule, ProjectRule):
+                continue
             for finding in rule.check(module):
                 if not module.suppresses(finding):
                     findings.append(finding)
+    for rule in active:
+        if not isinstance(rule, ProjectRule):
+            continue
+        for finding in rule.check_project(modules):
+            module = by_path.get(finding.path)
+            if module is None or not module.suppresses(finding):
+                findings.append(finding)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 
@@ -210,6 +223,11 @@ def build_parser(parser: argparse.ArgumentParser | None = None) -> argparse.Argu
         help="write current findings to the baseline and exit 0",
     )
     parser.add_argument(
+        "--prune-baseline", action="store_true",
+        help="drop baseline entries whose content anchor no longer "
+             "matches any current finding, then exit 0",
+    )
+    parser.add_argument(
         "--format", choices=("text", "json"), default="text",
         help="output format (default: text)",
     )
@@ -246,11 +264,30 @@ def run_cli(args: argparse.Namespace) -> int:
         count = Baseline().save(baseline_path, findings)
         print(f"baseline updated: {count} fingerprint(s) -> {baseline_path}")
         return 0
+    if args.prune_baseline:
+        baseline = Baseline.load(baseline_path)
+        if not baseline.accepted:
+            print(f"baseline {baseline_path} has no entries; nothing to do")
+            return 0
+        removed = baseline.prune(findings)
+        if removed:
+            baseline.save_fingerprints(baseline_path)
+        print(
+            f"pruned {len(removed)} stale fingerprint(s); "
+            f"{len(baseline.accepted)} remain -> {baseline_path}"
+        )
+        return 0
     if not args.no_baseline:
         findings = Baseline.load(baseline_path).filter(findings)
 
     if args.format == "json":
-        print(json.dumps([f.to_dict() for f in findings], indent=2))
+        print(json.dumps(
+            {
+                "schema_version": JSON_SCHEMA_VERSION,
+                "findings": [f.to_dict() for f in findings],
+            },
+            indent=2,
+        ))
     else:
         for finding in findings:
             print(finding.render())

@@ -1,6 +1,8 @@
 """Rule registry: one place that knows every rule ID."""
 
-from .base import Finding, Rule
+from .base import Finding, ProjectRule, Rule
+from .cluster_protocol import ClusterProtocolConformance
+from .concurrency import BlockingReachableUnderLock, LockOrderCycle
 from .determinism import NondeterministicDurablePath
 from .durability import WalBeforeApply
 from .hygiene import MutableDefaultArgument, ProductionAssert, \
@@ -9,6 +11,7 @@ from .invariants import CompressionEncapsulation, EntryLifetimeMutation
 from .locks import BlockingUnderLock, UnguardedStateMutation
 from .metrics_names import UnregisteredMetricName
 from .obs_series import UncatalogedObsSeries
+from .resources import ExceptionPathResourceLeak
 from .trace_spans import ManualSpanLifecycle
 
 #: Every rule, in ID order.  Instantiated once; rules are stateless.
@@ -25,8 +28,12 @@ ALL_RULES: tuple[Rule, ...] = (
     ProductionAssert(),
     ManualSpanLifecycle(),
     UncatalogedObsSeries(),
+    BlockingReachableUnderLock(),
+    LockOrderCycle(),
+    ClusterProtocolConformance(),
+    ExceptionPathResourceLeak(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
 
-__all__ = ["ALL_RULES", "RULES_BY_ID", "Finding", "Rule"]
+__all__ = ["ALL_RULES", "RULES_BY_ID", "Finding", "ProjectRule", "Rule"]

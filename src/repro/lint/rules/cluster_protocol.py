@@ -1,0 +1,492 @@
+"""RL015: coordinator <-> worker protocol conformance.
+
+The cluster wire protocol is JSON over TCP with no schema: a worker op
+registry (``_OPS = {"name": handler}``) on one side, dict-literal
+request payloads on the other.  Nothing but convention keeps them
+aligned, and a renamed payload field fails at runtime on whichever op
+first crosses the wire.  This rule recovers both sides statically:
+
+* **handlers** — for each registry entry, the payload fields the
+  handler reads (``payload["f"]`` required, ``payload.get("f")``
+  optional), followed transitively through module-local helpers that
+  the handler forwards its payload to, plus the response keys it can
+  produce (constant keys of returned dict literals, again transitive).
+* **envelope** — fields read by non-handler payload-taking functions in
+  the registry module (``op``, ``trace_id``, ``min_lsn``, ...): the
+  transport adds these to any request, so senders may carry them freely.
+* **senders** — every call anywhere in the module set with an argument
+  that is (or locally resolves to) a dict literal containing a constant
+  ``"op"`` entry, including both arms of a conditional expression and
+  constant-key ``payload["k"] = ...`` augmentation.
+
+Flagged: ops no registry knows, senders missing a required field,
+sender fields no handler or envelope reads, and response keys read from
+a sender's result that no handler return can produce.  Payloads that
+cannot be fully resolved (``dict(payload)`` copies, non-constant keys)
+are skipped rather than guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from .base import Finding, ProjectRule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..checker import ModuleInfo
+
+#: Keys every error/ack response may carry regardless of handler.
+_RESPONSE_ENVELOPE = frozenset({"ok", "error", "kind"})
+
+
+@dataclass
+class _Reads:
+    required: set[str] = field(default_factory=set)
+    optional: set[str] = field(default_factory=set)
+    responses: set[str] = field(default_factory=set)
+    opaque: bool = False  # a return value we could not enumerate
+
+    @property
+    def all_fields(self) -> set[str]:
+        return self.required | self.optional
+
+
+@dataclass
+class _HandlerSpec:
+    op: str
+    function: str
+    reads: _Reads
+
+
+def _param_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    args = fn.args
+    return [a.arg for a in args.posonlyargs + args.args]
+
+
+def _local_statements(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root`` without descending into nested def/class scopes."""
+    stack = [root]
+    first = True
+    while stack:
+        node = stack.pop()
+        if not first and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        first = False
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class _RegistryModule:
+    """One module defining an ``_OPS``-style handler registry."""
+
+    def __init__(self, module: "ModuleInfo") -> None:
+        self.module = module
+        self.functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {
+            node.name: node
+            for node in module.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        self.handlers: dict[str, _HandlerSpec] = {}
+        self.envelope: set[str] = set()
+        self._reads_memo: dict[tuple[str, str], _Reads] = {}
+        self._extract()
+
+    def _extract(self) -> None:
+        handler_names: dict[str, str] = {}
+        for node in self.module.tree.body:
+            if not (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id.endswith("_OPS")
+                and isinstance(node.value, ast.Dict)
+            ):
+                continue
+            for key, value in zip(node.value.keys, node.value.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and isinstance(value, ast.Name)
+                    and value.id in self.functions
+                ):
+                    handler_names[key.value] = value.id
+        if not handler_names:
+            return
+        for op, fname in handler_names.items():
+            fn = self.functions[fname]
+            params = _param_names(fn)
+            payload_param = (
+                "payload" if "payload" in params
+                else (params[-1] if params else "payload")
+            )
+            self.handlers[op] = _HandlerSpec(
+                op=op, function=fname,
+                reads=self._reads(fname, payload_param, set()),
+            )
+        for fname, fn in self.functions.items():
+            if fname in handler_names.values():
+                continue
+            if "payload" in _param_names(fn):
+                reads = self._reads(fname, "payload", set())
+                self.envelope |= reads.all_fields
+
+    def _reads(self, fname: str, param: str, stack: set[str]) -> _Reads:
+        key = (fname, param)
+        memo = self._reads_memo.get(key)
+        if memo is not None:
+            return memo
+        if key in stack:
+            return _Reads()
+        stack.add(key)
+        fn = self.functions[fname]
+        out = _Reads()
+        for node in _local_statements(fn):
+            if (
+                isinstance(node, ast.Subscript)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == param
+                and isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, str)
+                and isinstance(node.ctx, ast.Load)
+            ):
+                out.required.add(node.slice.value)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == param
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                out.optional.add(node.args[0].value)
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Name
+            ):
+                callee = self.functions.get(node.func.id)
+                if callee is None:
+                    continue
+                callee_params = _param_names(callee)
+                for position, arg in enumerate(node.args):
+                    if (
+                        isinstance(arg, ast.Name)
+                        and arg.id == param
+                        and position < len(callee_params)
+                    ):
+                        sub = self._reads(
+                            node.func.id, callee_params[position], stack
+                        )
+                        out.required |= sub.required
+                        out.optional |= sub.optional
+                        out.responses |= sub.responses
+                        out.opaque = out.opaque or sub.opaque
+        self._collect_responses(fn, out, stack)
+        stack.discard(key)
+        self._reads_memo[key] = out
+        return out
+
+    def _collect_responses(
+        self,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        out: _Reads,
+        stack: set[str],
+    ) -> None:
+        assigned_from: dict[str, str] = {}
+        for node in _local_statements(fn):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Call)
+                and isinstance(node.value.func, ast.Name)
+                and node.value.func.id in self.functions
+            ):
+                assigned_from[node.targets[0].id] = node.value.func.id
+        for node in _local_statements(fn):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            value = node.value
+            if isinstance(value, ast.Constant) and value.value is None:
+                continue
+            if isinstance(value, ast.Dict):
+                for key in value.keys:
+                    if isinstance(key, ast.Constant) and isinstance(
+                        key.value, str
+                    ):
+                        out.responses.add(key.value)
+                    else:
+                        out.opaque = True
+            elif (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in self.functions
+            ):
+                callee = value.func.id
+                params = _param_names(self.functions[callee])
+                sub = self._reads(
+                    callee, params[-1] if params else "payload", stack
+                )
+                out.responses |= sub.responses
+                out.opaque = out.opaque or sub.opaque
+            elif (
+                isinstance(value, ast.Name)
+                and value.id in assigned_from
+            ):
+                callee = assigned_from[value.id]
+                params = _param_names(self.functions[callee])
+                sub = self._reads(
+                    callee, params[-1] if params else "payload", stack
+                )
+                out.responses |= sub.responses
+                out.opaque = out.opaque or sub.opaque
+            else:
+                out.opaque = True
+
+
+@dataclass
+class _SenderPayload:
+    op: str
+    keys: set[str]
+    complete: bool  # every key was a string constant
+
+
+def _payload_of_dict(node: ast.Dict) -> _SenderPayload | None:
+    op = None
+    keys: set[str] = set()
+    complete = True
+    for key, value in zip(node.keys, node.values):
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            keys.add(key.value)
+            if key.value == "op":
+                if not (
+                    isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)
+                ):
+                    return None  # computed op: not a checkable sender
+                op = value.value
+        else:
+            complete = False
+    if op is None:
+        return None
+    return _SenderPayload(op=op, keys=keys, complete=complete)
+
+
+class ClusterProtocolConformance(ProjectRule):
+    """RL015: senders and ``_OPS`` handlers must agree on the protocol."""
+
+    id = "RL015"
+    title = "cluster protocol sender/handler mismatch"
+    rationale = (
+        "Request payloads are unchecked dict literals; a field renamed "
+        "on one side of the coordinator/worker boundary only fails at "
+        "runtime, on whichever op first crosses the wire."
+    )
+
+    def check_project(
+        self, modules: "list[ModuleInfo]"
+    ) -> Iterator[Finding]:
+        handlers: dict[str, _HandlerSpec] = {}
+        envelope: set[str] = set()
+        for module in modules:
+            registry = _RegistryModule(module)
+            if registry.handlers:
+                handlers.update(registry.handlers)
+                envelope |= registry.envelope
+        if not handlers:
+            return  # no registry in scope: nothing to check against
+        for module in modules:
+            for fn in self._all_functions(module):
+                yield from self._check_function(
+                    module, fn, handlers, envelope
+                )
+
+    def _all_functions(
+        self, module: "ModuleInfo"
+    ) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def _check_function(
+        self,
+        module: "ModuleInfo",
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        handlers: dict[str, _HandlerSpec],
+        envelope: set[str],
+    ) -> Iterator[Finding]:
+        parents: dict[int, ast.AST] = {}
+        for node in _local_statements(fn):
+            for child in ast.iter_child_nodes(node):
+                parents[id(child)] = node
+        local_dicts, augments, name_assign_lines = (
+            self._local_dataflow(fn)
+        )
+        for node in _local_statements(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            for payload in self._sender_payloads(
+                node, local_dicts, augments
+            ):
+                spec = handlers.get(payload.op)
+                if spec is None:
+                    yield self._finding(
+                        module, node,
+                        f"op {payload.op!r} is not handled by any "
+                        f"_OPS registry",
+                    )
+                    continue
+                if payload.complete:
+                    missing = (
+                        spec.reads.required - payload.keys - envelope
+                    )
+                    if missing:
+                        yield self._finding(
+                            module, node,
+                            f"payload for op {payload.op!r} is missing "
+                            f"required field(s) "
+                            f"{', '.join(sorted(missing))} "
+                            f"read by {spec.function}",
+                        )
+                    extra = (
+                        payload.keys - spec.reads.all_fields
+                        - envelope - {"op"}
+                    )
+                    if extra:
+                        yield self._finding(
+                            module, node,
+                            f"payload field(s) "
+                            f"{', '.join(sorted(extra))} for op "
+                            f"{payload.op!r} are never read by "
+                            f"{spec.function} or the dispatch envelope",
+                        )
+                if not spec.reads.opaque:
+                    produced = spec.reads.responses | _RESPONSE_ENVELOPE
+                    for key, read_node in self._response_reads(
+                        fn, node, parents, name_assign_lines
+                    ):
+                        if key not in produced:
+                            yield self._finding(
+                                module, read_node,
+                                f"response key {key!r} for op "
+                                f"{payload.op!r} is never produced by "
+                                f"{spec.function}",
+                            )
+
+    def _local_dataflow(self, fn):
+        """Dict literals bound to local names, plus constant-key
+        subscript augmentation and every assignment line per name."""
+        local_dicts: dict[str, ast.Dict | ast.IfExp | None] = {}
+        augments: dict[str, set[str]] = {}
+        name_assign_lines: dict[str, list[int]] = {}
+        for node in _local_statements(fn):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    name_assign_lines.setdefault(
+                        target.id, []
+                    ).append(node.lineno)
+                    if target.id in local_dicts:
+                        local_dicts[target.id] = None  # reassigned
+                    elif isinstance(node.value, (ast.Dict, ast.IfExp)):
+                        local_dicts[target.id] = node.value
+                    else:
+                        local_dicts[target.id] = None
+                elif (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    augments.setdefault(target.value.id, set()).add(
+                        target.slice.value
+                    )
+        return local_dicts, augments, name_assign_lines
+
+    def _sender_payloads(
+        self, call: ast.Call, local_dicts, augments
+    ) -> Iterator[_SenderPayload]:
+        for arg in call.args:
+            candidates: list[tuple[ast.Dict, set[str]]] = []
+            if isinstance(arg, ast.Dict):
+                candidates.append((arg, set()))
+            elif isinstance(arg, ast.IfExp):
+                for branch in (arg.body, arg.orelse):
+                    if isinstance(branch, ast.Dict):
+                        candidates.append((branch, set()))
+            elif isinstance(arg, ast.Name):
+                bound = local_dicts.get(arg.id)
+                extra = augments.get(arg.id, set())
+                if isinstance(bound, ast.Dict):
+                    candidates.append((bound, extra))
+                elif isinstance(bound, ast.IfExp):
+                    for branch in (bound.body, bound.orelse):
+                        if isinstance(branch, ast.Dict):
+                            candidates.append((branch, extra))
+            for dict_node, extra in candidates:
+                payload = _payload_of_dict(dict_node)
+                if payload is not None:
+                    payload.keys |= extra
+                    yield payload
+
+    def _response_reads(
+        self, fn, call: ast.Call, parents, name_assign_lines
+    ) -> Iterator[tuple[str, ast.AST]]:
+        parent = parents.get(id(call))
+        if (
+            isinstance(parent, ast.Subscript)
+            and parent.value is call
+            and isinstance(parent.slice, ast.Constant)
+            and isinstance(parent.slice.value, str)
+        ):
+            yield (parent.slice.value, parent)
+        if not (
+            isinstance(parent, ast.Assign)
+            and len(parent.targets) == 1
+            and isinstance(parent.targets[0], ast.Name)
+        ):
+            return
+        name = parent.targets[0].id
+        start = parent.lineno
+        later = [
+            line for line in name_assign_lines.get(name, [])
+            if line > start
+        ]
+        end = min(later) if later else None
+        for node in _local_statements(fn):
+            line = getattr(node, "lineno", 0)
+            if line < start or (end is not None and line >= end):
+                continue
+            if (
+                isinstance(node, ast.Subscript)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == name
+                and isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, str)
+                and isinstance(node.ctx, ast.Load)
+            ):
+                yield (node.slice.value, node)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == name
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                yield (node.args[0].value, node)
+
+    def _finding(
+        self, module: "ModuleInfo", node: ast.AST, message: str
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        snippet = ""
+        if 1 <= line <= len(module.lines):
+            snippet = module.lines[line - 1].strip()
+        return Finding(self.id, module.logical_path, line, message, snippet)

@@ -1,0 +1,191 @@
+"""Interprocedural concurrency rules (RL013, RL014).
+
+Both rules run over the whole module set: RL013 follows the project
+call graph out of a lock-guarded region looking for blocking calls any
+number of frames down; RL014 builds the global lock-acquisition graph
+and reports cycles.  The heavy lifting lives in
+:mod:`repro.lint.callgraph` and :mod:`repro.lint.lockflow`; imports are
+deferred to keep the rule registry import-order independent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from .base import (
+    Finding,
+    ProjectRule,
+    dotted_name,
+    has_path_segment,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..checker import ModuleInfo
+
+
+def _short(qname: str) -> str:
+    """``repro.cluster.protocol.send_message`` -> ``protocol.send_message``."""
+    return ".".join(qname.split(".")[-2:])
+
+
+def _snippet(module: "ModuleInfo", line: int) -> str:
+    if 1 <= line <= len(module.lines):
+        return module.lines[line - 1].strip()
+    return ""
+
+
+class BlockingReachableUnderLock(ProjectRule):
+    """RL013: a blocking call is transitively reachable under a lock.
+
+    The interprocedural upgrade of RL001: RL001 only sees blocking
+    calls lexically inside a ``read_locked()``/``write_locked()`` block,
+    so ``self._rpc_primary(...)`` under the coordinator writer lock —
+    three frames away from ``socket.create_connection`` — sails past it.
+    Guarded regions are the store's RW-lock guards anywhere, per-member
+    ``failover_lock`` blocks anywhere, and ``with self._writer`` blocks
+    in cluster modules (the service-layer writer mutex legitimately
+    covers WAL fsync; the cluster one should not block by accident).
+    """
+
+    id = "RL013"
+    title = "blocking call transitively reachable while a lock is held"
+    rationale = (
+        "A sleep, socket round-trip, or file I/O reached from a frame "
+        "holding the RW lock or a cluster member lock stalls every "
+        "reader/writer queued behind it."
+    )
+
+    def check_project(
+        self, modules: "list[ModuleInfo]"
+    ) -> Iterator[Finding]:
+        from ..callgraph import project_index
+        from ..lockflow import RW_GUARDS, BlockingReach, direct_blocking
+
+        index = project_index(modules)
+        reach = BlockingReach(index)
+        reported: set[int] = set()
+        for module in modules:
+            for info in index.functions_of(module):
+                for node in ast.walk(info.node):
+                    if not isinstance(node, (ast.With, ast.AsyncWith)):
+                        continue
+                    for item in node.items:
+                        trigger = self._trigger(module, item.context_expr)
+                        if trigger is None:
+                            continue
+                        kind, held = trigger
+                        yield from self._scan(
+                            module, info, node, kind, held,
+                            reach, reported, RW_GUARDS, direct_blocking,
+                        )
+
+    def _trigger(
+        self, module: "ModuleInfo", expr: ast.AST
+    ) -> tuple[str, str] | None:
+        """(kind, description) when the with-item takes a tracked lock."""
+        if isinstance(expr, ast.Call):
+            dotted = dotted_name(expr.func)
+            if dotted is not None and dotted.rsplit(".", 1)[-1] in (
+                "read_locked", "write_locked"
+            ):
+                return ("rw", f"{dotted}()")
+            return None
+        dotted = dotted_name(expr)
+        if dotted is None:
+            return None
+        if dotted.rsplit(".", 1)[-1] == "failover_lock":
+            return ("member", dotted)
+        if dotted == "self._writer" and has_path_segment(
+            module.logical_path, "cluster"
+        ):
+            return ("writer", dotted)
+        return None
+
+    def _scan(
+        self, module, info, with_node, kind, held,
+        reach, reported, rw_guards, direct_blocking,
+    ) -> Iterator[Finding]:
+        region = {
+            id(node)
+            for stmt in with_node.body
+            for node in ast.walk(stmt)
+        }
+        for site in info.calls:
+            if id(site.node) not in region or id(site.node) in reported:
+                continue
+            if site.target is not None:
+                hit = reach.reach(site.target)
+                if hit is None:
+                    continue
+                reported.add(id(site.node))
+                chain = " -> ".join(
+                    _short(q) for q in (site.target,) + hit[1]
+                )
+                yield Finding(
+                    self.id, module.logical_path, site.node.lineno,
+                    f"{hit[0]} is reachable while holding {held} "
+                    f"(via {chain})",
+                    _snippet(module, site.node.lineno),
+                )
+            elif kind != "rw":
+                # Direct blocking under an RW guard is RL001's finding;
+                # the cluster locks have no intra-function rule, so the
+                # zero-hop case is reported here.
+                desc = direct_blocking(site)
+                if desc is None:
+                    continue
+                reported.add(id(site.node))
+                yield Finding(
+                    self.id, module.logical_path, site.node.lineno,
+                    f"blocking call {desc} while holding {held}",
+                    _snippet(module, site.node.lineno),
+                )
+
+
+class LockOrderCycle(ProjectRule):
+    """RL014: two lock-acquisition chains disagree on order.
+
+    Builds the global acquisition graph — an edge ``A -> B`` whenever B
+    is taken (directly, in a nested ``with``, or transitively through
+    resolved calls) while A is held — and reports every cycle with a
+    witness location and call chain for each edge.
+    """
+
+    id = "RL014"
+    title = "inconsistent lock acquisition order (potential deadlock)"
+    rationale = (
+        "Two threads taking the same pair of locks in opposite orders "
+        "deadlock under load; the cluster layer nests the coordinator "
+        "writer lock, member failover locks, and client pool locks."
+    )
+
+    def check_project(
+        self, modules: "list[ModuleInfo]"
+    ) -> Iterator[Finding]:
+        from ..callgraph import project_index
+        from ..lockflow import LockFlow, find_cycles
+
+        index = project_index(modules)
+        edges = LockFlow(index).order_edges()
+        for cycle in find_cycles(edges):
+            legs = []
+            anchor = None
+            for position, a in enumerate(cycle):
+                b = cycle[(position + 1) % len(cycle)]
+                witness = edges[a][b]
+                if anchor is None:
+                    anchor = witness
+                legs.append(
+                    f"{a.label} -> {b.label} at "
+                    f"{witness.module.logical_path}:{witness.line} "
+                    f"(via {witness.detail})"
+                )
+            ring = " -> ".join(
+                lock.label for lock in list(cycle) + [cycle[0]]
+            )
+            yield Finding(
+                self.id, anchor.module.logical_path, anchor.line,
+                f"lock-order cycle {ring}; " + "; ".join(legs),
+                _snippet(anchor.module, anchor.line),
+            )

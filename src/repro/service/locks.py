@@ -16,6 +16,7 @@ import threading
 from typing import Callable, Iterator, TypeVar
 
 from ..obs import trace as _trace
+from . import sanitizer as _san
 
 _F = TypeVar("_F", bound=Callable)
 
@@ -42,6 +43,9 @@ class ReadWriteLock:
     serving layer's writes are short: four tree inserts).
     """
 
+    #: Sanitizer role shared by every instance (lockdep-style class key).
+    SANITIZER_ROLE = "store.rw"
+
     def __init__(self) -> None:
         self._cond = threading.Condition()
         self._readers = 0
@@ -49,18 +53,26 @@ class ReadWriteLock:
         self._writers_waiting = 0
 
     def acquire_read(self) -> None:
+        if _san.enabled():
+            _san.TRACKER.check_order(self.SANITIZER_ROLE)
         with self._cond:
             while self._writer_active or self._writers_waiting:
                 self._cond.wait()
             self._readers += 1
+        if _san.enabled():
+            _san.TRACKER.acquired(self.SANITIZER_ROLE, allow_blocking=False)
 
     def release_read(self) -> None:
+        if _san.enabled():
+            _san.TRACKER.released(self.SANITIZER_ROLE)
         with self._cond:
             self._readers -= 1
             if self._readers == 0:
                 self._cond.notify_all()
 
     def acquire_write(self) -> None:
+        if _san.enabled():
+            _san.TRACKER.check_order(self.SANITIZER_ROLE)
         with self._cond:
             self._writers_waiting += 1
             try:
@@ -69,8 +81,12 @@ class ReadWriteLock:
             finally:
                 self._writers_waiting -= 1
             self._writer_active = True
+        if _san.enabled():
+            _san.TRACKER.acquired(self.SANITIZER_ROLE, allow_blocking=False)
 
     def release_write(self) -> None:
+        if _san.enabled():
+            _san.TRACKER.released(self.SANITIZER_ROLE)
         with self._cond:
             self._writer_active = False
             self._cond.notify_all()

@@ -36,6 +36,7 @@ from ..obs import trace as _trace
 from ..obs import workload as _workload
 from .cache import QueryCache, normalize_query
 from .locks import ReadWriteLock, requires_writer_lock
+from .sanitizer import sanitized_lock
 from .snapshot import load_snapshot, save_snapshot
 from .wal import WriteAheadLog
 
@@ -87,8 +88,11 @@ class TemporalStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.snapshot_path = self.directory / self.SNAPSHOT_NAME
         self.wal_path = self.directory / self.WAL_NAME
-        #: serializes writers (updates, checkpoints, load/close).
-        self._writer = threading.Lock()
+        #: serializes writers (updates, checkpoints, load/close).  May
+        #: legitimately be held across fsync, hence allow_blocking.
+        self._writer = sanitized_lock(
+            threading.Lock(), "store.writer", allow_blocking=True
+        )
         #: readers-writer lock guarding the in-memory engine.
         self._rw = ReadWriteLock()
         self.checkpoint_every = checkpoint_every

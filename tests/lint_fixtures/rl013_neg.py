@@ -1,0 +1,29 @@
+"""Negative RL013: blocking happens outside the lock, or is RL001's.
+
+The direct ``time.sleep`` under a ``read_locked()`` guard is the RW
+lock's *zero-hop* case, which RL001 already reports — RL013 must stay
+silent on it instead of double-flagging.
+"""
+# repro-lint: scope=src/repro/cluster/coordinator.py
+import time
+
+
+class Coordinator:
+    def update(self):
+        payload = self._encode()
+        with self._writer:
+            self._bump()  # pure in-memory work under the lock
+        self._rpc(payload)  # the blocking call runs after release
+
+    def poll(self):
+        with self._rw.read_locked():
+            time.sleep(0.01)  # RL001's finding, not RL013's
+
+    def _encode(self):
+        return {}
+
+    def _bump(self):
+        self.revision = self.revision + 1
+
+    def _rpc(self, payload):
+        time.sleep(0.01)

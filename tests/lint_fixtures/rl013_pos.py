@@ -1,0 +1,19 @@
+"""Positive RL013: blocking reachable through calls under cluster locks."""
+# repro-lint: scope=src/repro/cluster/coordinator.py
+import time
+
+
+class Coordinator:
+    def update(self):
+        with self._writer:
+            self._flush_all()  # two hops from time.sleep
+
+    def _flush_all(self):
+        self._push()
+
+    def _push(self):
+        time.sleep(0.1)
+
+    def promote(self, member):
+        with member.failover_lock:
+            time.sleep(0.5)  # zero-hop under the member lock

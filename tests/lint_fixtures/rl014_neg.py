@@ -1,0 +1,22 @@
+"""Negative RL014: both paths agree on writer-before-maint order."""
+# repro-lint: scope=src/repro/service/store.py
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._writer = threading.Lock()
+        self._maint = threading.Lock()
+
+    def update(self):
+        with self._writer:
+            with self._maint:
+                self.revision = self.revision + 1
+
+    def compact(self):
+        with self._writer:
+            self._sweep()
+
+    def _sweep(self):
+        with self._maint:
+            self.dirty = False

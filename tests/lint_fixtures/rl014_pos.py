@@ -1,0 +1,22 @@
+"""Positive RL014: writer->maint nesting vs. maint->writer via a call."""
+# repro-lint: scope=src/repro/service/store.py
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._writer = threading.Lock()
+        self._maint = threading.Lock()
+
+    def update(self):
+        with self._writer:
+            with self._maint:
+                self.revision = self.revision + 1
+
+    def compact(self):
+        with self._maint:
+            self._flush()  # takes _writer one frame down
+
+    def _flush(self):
+        with self._writer:
+            self.dirty = False

@@ -1,0 +1,39 @@
+"""Negative RL015: senders and handlers that agree on the protocol."""
+
+
+def _op_query(payload):
+    horizon = payload.get("horizon")  # optional: sender may omit it
+    return {"ok": True, "rows": [], "applied": horizon}
+
+
+def _op_update(payload):
+    return {"ok": True, "revision": payload["subject"]}
+
+
+_OPS = {"query": _op_query, "update": _op_update}
+
+
+def _dispatch(payload):
+    trace = payload.get("trace_id")  # envelope field, any op may carry it
+    handler = _OPS[payload["op"]]
+    return handler(payload), trace
+
+
+def good_update(client):
+    response = client.rpc(
+        {"op": "update", "subject": "s", "trace_id": "t"}
+    )
+    return response["revision"]
+
+
+def good_query(client):
+    response = client.rpc({"op": "query"})
+    if not response["ok"]:
+        raise RuntimeError(response["error"])
+    return response["rows"]
+
+
+def skipped_dynamic(client, extra_key):
+    # Non-constant key: the payload cannot be fully resolved, so the
+    # field checks are skipped rather than guessed at.
+    return client.rpc({"op": "query", extra_key: 1})

@@ -1,0 +1,35 @@
+"""Positive RL015: four flavours of sender/handler protocol drift."""
+
+
+def _op_status(payload):
+    return {"ok": True, "applied": 7}
+
+
+def _op_update(payload):
+    revision = payload["subject"]
+    return {"ok": True, "revision": revision}
+
+
+_OPS = {"status": _op_status, "update": _op_update}
+
+
+def _dispatch(payload):
+    handler = _OPS[payload["op"]]
+    return handler(payload)
+
+
+def bad_unknown_op(client):
+    return client.rpc({"op": "statuss"})  # typo: no such handler
+
+
+def bad_missing_field(client):
+    return client.rpc({"op": "update"})  # _op_update reads "subject"
+
+
+def bad_extra_field(client):
+    return client.rpc({"op": "status", "verbose": True})  # never read
+
+
+def bad_stale_response_key(client):
+    response = client.rpc({"op": "status"})
+    return response["leader"]  # _op_status produces "applied", not this

@@ -1,0 +1,31 @@
+"""Negative RL016: the structurally safe resource lifetimes."""
+import socket
+
+
+def with_block(address):
+    with socket.create_connection(address) as sock:
+        sock.sendall(b"ping")
+
+
+def direct_return(address):
+    return socket.create_connection(address)
+
+
+def guarded(address):
+    sock = socket.create_connection(address)
+    try:
+        sock.setsockopt(1, 2, 3)
+    except OSError:
+        sock.close()
+        raise
+    return sock
+
+
+def immediate_return(address):
+    sock = socket.create_connection(address)
+    return sock
+
+
+def owned(self, address):
+    sock = socket.create_connection(address)
+    self.sock = sock  # ownership moves to the object

@@ -1,0 +1,15 @@
+"""Positive RL016: resources orphaned when an exception exits early."""
+import socket
+
+
+def leaky_connect(address):
+    sock = socket.create_connection(address)
+    sock.setsockopt(1, 2, 3)  # raises -> sock is orphaned
+    return sock
+
+
+def leaky_write(path, data):
+    handle = open(path, "w")
+    data = normalize(data)  # raises -> handle is orphaned
+    handle.write(data)
+    handle.close()

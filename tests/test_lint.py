@@ -22,7 +22,12 @@ from repro.lint import (
     RULES_BY_ID,
     run_lint,
 )
-from repro.lint.checker import PARSE_ERROR_RULE, load_module, main
+from repro.lint.checker import (
+    JSON_SCHEMA_VERSION,
+    PARSE_ERROR_RULE,
+    load_module,
+    main,
+)
 
 FIXTURES = Path(__file__).parent / "lint_fixtures"
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -67,6 +72,10 @@ POSITIVE_EXPECTATIONS = {
     "RL010": ("rl010_pos.py", 2),  # module-level + control-flow assert
     "RL011": ("rl011_pos.py", 2),  # span.start() + span.finish()
     "RL012": ("rl012_pos.py", 3),  # typo, malformed, dynamic name (bare)
+    "RL013": ("rl013_pos.py", 2),  # two-hop chain + direct under member
+    "RL014": ("rl014_pos.py", 1),  # writer/maint order cycle
+    "RL015": ("rl015_pos.py", 4),  # unknown op, missing, extra, stale key
+    "RL016": ("rl016_pos.py", 2),  # setsockopt-then-return, write-then-close
 }
 
 NEGATIVE_FIXTURES = {
@@ -82,6 +91,10 @@ NEGATIVE_FIXTURES = {
     "RL010": ["rl010_neg.py"],
     "RL011": ["rl011_neg.py"],
     "RL012": ["rl012_neg.py"],
+    "RL013": ["rl013_neg.py"],
+    "RL014": ["rl014_neg.py"],
+    "RL015": ["rl015_neg.py"],
+    "RL016": ["rl016_neg.py"],
 }
 
 
@@ -232,8 +245,9 @@ def test_cli_json_format(tmp_path, capsys):
     target.write_text("def f(xs=[]):\n    return xs\n")
     assert main([str(target), "--no-baseline", "--format", "json"]) == 1
     payload = json.loads(capsys.readouterr().out)
-    assert payload[0]["rule"] == "RL008"
-    assert payload[0]["line"] == 1
+    assert payload["schema_version"] == JSON_SCHEMA_VERSION
+    assert payload["findings"][0]["rule"] == "RL008"
+    assert payload["findings"][0]["line"] == 1
 
 
 def test_cli_update_baseline_then_clean(tmp_path, capsys):
