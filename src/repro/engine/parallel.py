@@ -24,6 +24,12 @@ invocation with the CLI ``--parallel`` flags.  The scan loops are pure
 Python, so today's wins are bounded by the GIL — the structure is what
 the switch buys (compressed-leaf decoding and any future C-accelerated
 decode parallelize for free).
+
+Per-leaf tasks hand workers the *leaf* — for compressed leaves that is
+the packed byte buffer, scanned in place by
+:func:`~repro.mvbt.compression.scan_packed` without materializing an
+entry list, so a task shares nothing mutable with its siblings and the
+scan allocates only for surviving pieces.
 """
 
 from __future__ import annotations
@@ -146,7 +152,11 @@ def parallel_scan_pieces(
         if _metrics.ENABLED:
             _PARALLEL_SCANS.inc()
             _LEAF_TASKS.inc(len(leaves))
-    publish_scan_counters(
-        len(leaves), sum(leaf.count for leaf in leaves), len(out)
-    )
+    if _metrics.ENABLED:
+        # The per-leaf count sum is O(leaves) bookkeeping — only worth
+        # computing when the counters will actually record it (the serial
+        # scan guards identically).
+        publish_scan_counters(
+            len(leaves), sum(leaf.count for leaf in leaves), len(out)
+        )
     return out

@@ -37,6 +37,34 @@ DEATH_SETTERS = frozenset({
 COMPRESSION_FILES = ("mvbt/compression.py", "mvbt/node.py",
                      "mvbt/__init__.py")
 
+#: Calls whose results are scan/read output the caller must not mutate:
+#: compressed leaves hand back frozen decoded tuples (possibly shared by
+#: every reader of a hot leaf), and piece lists feed byte-identity
+#: comparisons between the serial and parallel scanners.
+PIECE_PRODUCERS = frozenset({
+    "entries", "live_entries", "scan_pieces", "scan_leaf_pieces",
+    "parallel_scan_pieces",
+})
+
+#: In-place list mutators that would write through a shared decoded
+#: tuple/pieces list if called on a producer result.
+PIECE_MUTATORS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "clear", "sort",
+    "reverse",
+})
+
+
+def _is_piece_producer(node: ast.expr) -> bool:
+    """Whether ``node`` is a call to one of :data:`PIECE_PRODUCERS`."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in PIECE_PRODUCERS
+    if isinstance(func, ast.Name):
+        return func.id in PIECE_PRODUCERS
+    return False
+
 
 class EntryLifetimeMutation(Rule):
     """RL004: ``.end`` / ``.death`` writes only inside the sanctioned
@@ -79,19 +107,24 @@ class EntryLifetimeMutation(Rule):
 
 
 class CompressionEncapsulation(Rule):
-    """RL005: compressed-leaf headers/buffers only through compression.py."""
+    """RL005: compressed-leaf headers/buffers only through compression.py,
+    and scan output (entries/pieces) treated as read-only by callers."""
 
     id = "RL005"
     title = "compressed-leaf store accessed outside its owners"
     rationale = (
         "The delta format (Section 4.2 headers) has exactly one encoder "
         "and one decoder; constructing stores or poking `._buf` anywhere "
-        "else lets the byte layout drift between writer and reader."
+        "else lets the byte layout drift between writer and reader.  "
+        "Scan results are shared: hot compressed leaves hand every "
+        "reader the same frozen decoded tuple, so mutating what "
+        "`entries()`/`scan_pieces()` return corrupts other readers."
     )
 
     def check(self, module: "ModuleInfo") -> Iterator[Finding]:
         if path_matches(module.logical_path, COMPRESSION_FILES):
             return
+        yield from self._scope_mutations(module, module.tree)
         for node in ast.walk(module.tree):
             if isinstance(node, ast.ImportFrom):
                 if any(
@@ -122,3 +155,104 @@ class CompressionEncapsulation(Rule):
                     "direct `._buf` access outside mvbt/compression.py — "
                     "the buffer layout is private to the codec",
                 )
+
+    def _scope_mutations(
+        self, module: "ModuleInfo", scope: ast.AST
+    ) -> Iterator[Finding]:
+        """Findings for in-place mutation of scan output within ``scope``.
+
+        Tracks, per function scope and in source order, names bound
+        directly from a :data:`PIECE_PRODUCERS` call; a tracked name is
+        released when rebound to anything else (``rows = list(pieces)``
+        makes a private copy the caller may mutate freely).  Flags both
+        mutator calls on tracked names and on producer results directly
+        (``leaf.entries().sort()``), plus subscript writes.
+        """
+        tracked: set[str] = set()
+        body = getattr(scope, "body", [])
+        for finding in self._walk_statements(module, body, tracked):
+            yield finding
+
+    def _walk_statements(
+        self, module: "ModuleInfo", body: list, tracked: set[str]
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                # Fresh scope: bindings do not leak across functions.
+                yield from self._walk_statements(module, stmt.body, set())
+                continue
+            nested = [
+                block
+                for field in (
+                    "body", "orelse", "finalbody",
+                )
+                for block in [getattr(stmt, field, None)]
+                if block
+            ] + [h.body for h in getattr(stmt, "handlers", [])]
+            if nested:
+                # Compound statement: check only its header expressions
+                # here; bodies are recursed into with the same bindings.
+                headers = [
+                    expr
+                    for field in ("test", "iter", "subject")
+                    for expr in [getattr(stmt, field, None)]
+                    if expr is not None
+                ] + [item.context_expr for item in getattr(stmt, "items", [])]
+                for expr in headers:
+                    yield from self._check_expression(module, expr, tracked)
+                for block in nested:
+                    yield from self._walk_statements(module, block, tracked)
+                continue
+            yield from self._check_expression(module, stmt, tracked)
+            # Binding updates come after the checks, so a self-rebind like
+            # `pieces = list(pieces)` is released only from here on.
+            if isinstance(stmt, ast.Assign):
+                names = [
+                    t.id for t in stmt.targets if isinstance(t, ast.Name)
+                ]
+                if _is_piece_producer(stmt.value):
+                    tracked.update(names)
+                else:
+                    tracked.difference_update(names)
+
+    def _check_expression(
+        self, module: "ModuleInfo", root: ast.AST, tracked: set[str]
+    ) -> Iterator[Finding]:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ) and node.func.attr in PIECE_MUTATORS:
+                base = node.func.value
+                if _is_piece_producer(base):
+                    yield self.finding(
+                        module, node,
+                        f"`.{node.func.attr}()` mutates a scan result in "
+                        f"place — entries()/scan pieces are shared "
+                        f"read-only views; copy before mutating",
+                    )
+                elif isinstance(base, ast.Name) and base.id in tracked:
+                    yield self.finding(
+                        module, node,
+                        f"`{base.id}.{node.func.attr}()` mutates scan "
+                        f"output bound from a producer call — copy "
+                        f"(`list(...)`) before mutating",
+                    )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in tracked
+                    ):
+                        yield self.finding(
+                            module, node,
+                            f"subscript write into `{target.value.id}` — "
+                            f"scan output is a shared read-only view; "
+                            f"copy before mutating",
+                        )

@@ -35,9 +35,22 @@ zigzag-encoded so negative neighbour deltas stay compact.  ``ts`` is always a
 delta against the node minimum in normal entries (entries arrive in
 nondecreasing start order, so the *checkpoint* — the position and value of the
 entry with the largest ts — lets appends encode without rescanning).
+
+The packed buffer is also the **scan substrate**: :func:`scan_packed` walks
+it directly, evaluating the key-range and clamped-interval predicates on the
+running decoded state and materializing ``(key, lo, hi, payload)`` pieces
+only for survivors — no per-entry objects, no full-leaf expansion.  Decoded
+entry lists are kept only for *hot* leaves, under a process-wide budget (see
+``docs/compression.md``); the ``REPRO_PACKED_SCAN`` switch selects adaptive
+packed scanning (``1``/``auto``, the default), legacy decode-then-filter
+(``0``), or always-packed (``2``/``force``) for A/B and identity runs.
 """
 
 from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Iterator
 
 from ..model.time import NOW
 from ..obs import metrics as _metrics
@@ -48,6 +61,10 @@ from .entry import Key, LeafEntry
 _PAGES_DECODED = _metrics.counter("mvbt.compression.leaves_decoded")
 _ENTRIES_DECODED = _metrics.counter("mvbt.compression.entries_decoded")
 _BYTES_DECODED = _metrics.counter("mvbt.compression.bytes_decoded")
+# Packed-scan instrumentation: scans answered directly over the byte
+# buffer, and the entries those scans filtered out without materializing.
+_PACKED_SCANS = _metrics.counter("mvbt.compression.packed_scans")
+_PACKED_SKIPPED = _metrics.counter("mvbt.compression.packed_entries_skipped")
 
 #: Simulated storage-layout size of an uncompressed entry: five 64-bit values
 #: plus a pointer/flag word (see DESIGN.md; Python heap sizes would distort
@@ -61,6 +78,101 @@ NODE_HEADER_BYTES = 64
 SHORT_INTERVAL_LIMIT = 0xFFFF
 
 _LEN_CODE_TO_BYTES = (0, 1, 2, 4)
+
+# ------------------------------------------------------------ scan switch
+
+#: ``REPRO_PACKED_SCAN`` modes: never scan packed (legacy decode-then-
+#: filter), adaptive (packed unless the leaf is hot / already decoded),
+#: always packed (ignore any decoded memo).
+PACKED_OFF, PACKED_AUTO, PACKED_FORCE = 0, 1, 2
+
+
+def _parse_packed_mode(raw: str | None) -> int:
+    if raw is None:
+        return PACKED_AUTO
+    text = raw.strip().lower()
+    if text in ("0", "false", "off", "no"):
+        return PACKED_OFF
+    if text in ("2", "force", "always"):
+        return PACKED_FORCE
+    # "", "1", "on", "auto", ...: packed scanning enabled, adaptive.
+    return PACKED_AUTO
+
+
+_PACKED_MODE = _parse_packed_mode(os.environ.get("REPRO_PACKED_SCAN"))
+
+
+def packed_mode() -> int:
+    """The active packed-scan mode (``PACKED_OFF/AUTO/FORCE``)."""
+    return _PACKED_MODE
+
+
+def set_packed_mode(mode: int) -> int:
+    """Override the packed-scan mode at runtime; returns the previous one
+    (tests and A/B benchmarks; servers set ``REPRO_PACKED_SCAN``)."""
+    global _PACKED_MODE
+    previous = _PACKED_MODE
+    _PACKED_MODE = mode
+    return previous
+
+
+# ------------------------------------------------------------- memo policy
+
+#: Default full decodes + packed scans of one leaf before it counts as
+#: *hot* and may keep its decoded entry tuple resident
+#: (``REPRO_LEAF_MEMO_HOT_USES``).  2 means: first touch scans packed
+#: (cold leaves allocate nothing), second touch decodes and memoizes —
+#: so repeat-scanned leaves reach the warm decoded path immediately
+#: while single-touch leaves never expand.
+HOT_USES = 2
+
+#: Process-wide ceiling on decoded entries kept resident across all leaves
+#: (``REPRO_LEAF_MEMO_ENTRIES``); cold or over-budget leaves always scan
+#: packed and decode on demand.
+_DEFAULT_MEMO_BUDGET = 1 << 18
+
+
+def _parse_budget(raw: str | None, default: int) -> int:
+    if raw is None:
+        return default
+    try:
+        return max(int(raw.strip()), 0)
+    except ValueError:
+        return default
+
+
+_MEMO_BUDGET = _parse_budget(
+    os.environ.get("REPRO_LEAF_MEMO_ENTRIES"), _DEFAULT_MEMO_BUDGET
+)
+_HOT_USES = _parse_budget(
+    os.environ.get("REPRO_LEAF_MEMO_HOT_USES"), HOT_USES
+)
+_memo_lock = threading.Lock()
+_memo_entries = 0
+
+
+def memo_entries() -> int:
+    """Decoded entries currently held resident across all leaf memos."""
+    return _memo_entries
+
+
+def memo_budget() -> int:
+    """The process-wide memo ceiling, in entries."""
+    return _MEMO_BUDGET
+
+
+def set_memo_policy(hot_uses: int | None = None,
+                    budget: int | None = None) -> tuple[int, int]:
+    """Override the hot threshold and/or budget; returns the previous pair
+    (tests and the A/B benchmark; ``hot_uses=1, budget`` huge reproduces
+    the legacy unconditional memo)."""
+    global _HOT_USES, _MEMO_BUDGET
+    previous = (_HOT_USES, _MEMO_BUDGET)
+    if hot_uses is not None:
+        _HOT_USES = hot_uses
+    if budget is not None:
+        _MEMO_BUDGET = budget
+    return previous
 
 
 class CompressionError(ValueError):
@@ -97,6 +209,110 @@ def _take(buf: bytes, pos: int, code: int) -> tuple[int, int]:
     return int.from_bytes(buf[pos : pos + width], "big"), pos + width
 
 
+def scan_packed(
+    buf_view: "memoryview | bytes | bytearray",
+    key_low: Key,
+    key_high: Key,
+    t1: int,
+    t2: int,
+    node_start: int,
+    node_death: int,
+    base_v: tuple[int, int, int] = (0, 0, 0),
+    base_ts: int = 0,
+    base_te: int = 0,
+    out: list[tuple[Key, int, int, Any]] | None = None,
+) -> list[tuple[Key, int, int, Any]]:
+    """Range-interval scan directly over a packed leaf buffer.
+
+    Walks the delta-encoded buffer once, maintaining the running decoded
+    state ``(k1, k2, k3, ts)``, and evaluates the key-range predicate
+    ``key_low <= key < key_high`` plus the lifetime-clamped interval
+    predicate (``[start, end)`` clamped to ``[node_start, node_death)``
+    must intersect ``[t1, t2)``) inline.  Only survivors materialize a
+    ``(key, lo, hi, None)`` piece — filtered entries never become Python
+    objects, which is what makes the packed buffer the operational form
+    rather than a storage-only encoding (ROADMAP "scan-on-compressed").
+
+    Emitted pieces are element-for-element identical, in identical order,
+    to decoding the whole buffer and filtering (the legacy path); the
+    hypothesis suite in ``tests/test_scan_packed.py`` pins this.
+    """
+    if out is None:
+        out = []
+    append = out.append
+    buf = buf_view
+    pos = 0
+    size = len(buf)
+    widths = _LEN_CODE_TO_BYTES
+    base_v1, base_v2, base_v3 = base_v
+    from_bytes = int.from_bytes
+    k1 = k2 = k3 = start = 0
+    examined = emitted = 0
+    while pos < size:
+        first = buf[pos]
+        if first & 0x80:  # compact: shares v1, live, deltas vs prev
+            pos += 1
+            w = widths[(first >> 5) & 0x3]
+            d2 = from_bytes(buf[pos : pos + w], "big")
+            pos += w
+            w = widths[(first >> 3) & 0x3]
+            d3 = from_bytes(buf[pos : pos + w], "big")
+            pos += w
+            w = widths[(first >> 1) & 0x3]
+            dts = from_bytes(buf[pos : pos + w], "big")
+            pos += w
+            k2 += (d2 >> 1) ^ -(d2 & 1)
+            k3 += (d3 >> 1) ^ -(d3 & 1)
+            start += (dts >> 1) ^ -(dts & 1)
+            end = NOW
+        else:
+            header = (first << 8) | buf[pos + 1]
+            pos += 2
+            w = widths[(header >> 13) & 0x3]
+            raw = from_bytes(buf[pos : pos + w], "big")
+            pos += w
+            d1 = (raw >> 1) ^ -(raw & 1)
+            w = widths[(header >> 11) & 0x3]
+            raw = from_bytes(buf[pos : pos + w], "big")
+            pos += w
+            d2 = (raw >> 1) ^ -(raw & 1)
+            w = widths[(header >> 9) & 0x3]
+            raw = from_bytes(buf[pos : pos + w], "big")
+            pos += w
+            d3 = (raw >> 1) ^ -(raw & 1)
+            k1 = (k1 + d1) if header & 0x100 else base_v1 + d1
+            k2 = (k2 + d2) if header & 0x8 else base_v2 + d2
+            k3 = (k3 + d3) if header & 0x4 else base_v3 + d3
+            w = widths[(header >> 6) & 0x3]
+            start = base_ts + from_bytes(buf[pos : pos + w], "big")
+            pos += w
+            w = widths[(header >> 4) & 0x3]
+            te_raw = from_bytes(buf[pos : pos + w], "big")
+            pos += w
+            te_flag = header & 0x3
+            if te_flag == 0:
+                end = NOW
+            elif te_flag == 1:
+                end = start + te_raw
+            else:
+                end = base_te + ((te_raw >> 1) ^ -(te_raw & 1))
+        examined += 1
+        # Clamp to the node lifetime, then test the query region.
+        lo = start if start > node_start else node_start
+        hi = end if end < node_death else node_death
+        if lo >= hi or lo >= t2 or t1 >= hi:
+            continue
+        key = (k1, k2, k3)
+        if key < key_low or key >= key_high:
+            continue
+        emitted += 1
+        append((key, lo, hi, None))
+    if _metrics.ENABLED:
+        _PACKED_SCANS.inc()
+        _PACKED_SKIPPED.inc(examined - emitted)
+    return out
+
+
 class CompressedLeafStore:
     """Byte-buffer backend of a compressed MVBT leaf."""
 
@@ -109,6 +325,8 @@ class CompressedLeafStore:
         "_checkpoint_ts",
         "_last_entry",
         "_decoded",
+        "_uses",
+        "_memo_charge",
     )
 
     def __init__(self, entries: list[LeafEntry]) -> None:
@@ -134,7 +352,9 @@ class CompressedLeafStore:
         self._buf = bytearray()
         self._last_entry: LeafEntry | None = None
         self._checkpoint_ts = self._base_ts
-        self._decoded: list[LeafEntry] | None = None
+        self._decoded: tuple[LeafEntry, ...] | None = None
+        self._uses = 0
+        self._memo_charge = 0
         for entry in entries:
             self.append(entry)
 
@@ -148,7 +368,7 @@ class CompressedLeafStore:
         self._last_entry = entry.copy()
         self._checkpoint_ts = max(self._checkpoint_ts, entry.start)
         self.count += 1
-        self._decoded = None
+        self._invalidate()
 
     def _encode(
         self, buf: bytearray, entry: LeafEntry, prev: LeafEntry | None
@@ -214,19 +434,26 @@ class CompressedLeafStore:
 
     # --------------------------------------------------------------- decode
 
-    def entries(self) -> list[LeafEntry]:
-        """Decode the whole buffer back into entries.
+    def entries(self) -> tuple[LeafEntry, ...]:
+        """Decode the whole buffer back into a **frozen** entry tuple.
 
-        This is the hot path of every scan over a compressed index.  The
-        decoded list is memoized until the next mutation: the paper includes
-        decompression in query time but measures it as negligible (Java
-        array unpacking); a pure-Python byte decoder is an order of
-        magnitude slower relative to the scan, which would invert the
-        paper's cost model, so the cache restores the intended ratio.
-        Reported index sizes are layout bytes and unaffected.
+        Callers must treat the returned tuple and the entries inside it as
+        immutable: hot leaves hand out their memoized tuple directly, and
+        mutating an element would corrupt every other reader (go through
+        :meth:`append` / :meth:`end_live`; lint rule RL005 flags external
+        mutation).
+
+        The decoded form is memoized only for *hot* leaves (``HOT_USES``
+        full decodes or packed scans) and only while the process-wide
+        entry budget (``REPRO_LEAF_MEMO_ENTRIES``) has room — cold leaves
+        decode on demand and scans run packed (:func:`scan_packed`), so a
+        large mostly-cold index no longer keeps every leaf expanded into
+        Python objects.  Reported index sizes are layout bytes and
+        unaffected by the memo.
         """
         if self._decoded is not None:
             return self._decoded
+        self._uses += 1
         out: list[LeafEntry] = []
         buf = self._buf
         pos = 0
@@ -287,37 +514,198 @@ class CompressedLeafStore:
                 k1, k2, k3 = nk1, nk2, nk3
                 entry = LeafEntry((k1, k2, k3), start, end, None)
             append(entry)
-        self._decoded = out
+        decoded = tuple(out)
         if _metrics.ENABLED:
             _PAGES_DECODED.inc()
             _ENTRIES_DECODED.inc(len(out))
             _BYTES_DECODED.inc(size)
-        return out
+        self._maybe_memoize(decoded)
+        return decoded
+
+    def _maybe_memoize(self, decoded: tuple[LeafEntry, ...]) -> None:
+        """Keep ``decoded`` resident iff the leaf is hot and the budget
+        admits it.  The global accounting runs under a lock; the common
+        (cold) path never takes it."""
+        global _memo_entries
+        if self._uses < _HOT_USES:
+            return
+        with _memo_lock:
+            if self._decoded is not None:
+                return
+            if _memo_entries + self.count > _MEMO_BUDGET:
+                return
+            _memo_entries += self.count
+            self._memo_charge = self.count
+            self._decoded = decoded
+
+    def _invalidate(self) -> None:
+        """Drop the decoded memo (a mutation re-shaped the buffer)."""
+        global _memo_entries
+        if self._memo_charge:
+            with _memo_lock:
+                _memo_entries -= self._memo_charge
+            self._memo_charge = 0
+        self._decoded = None
+
+    def release_memo(self) -> None:
+        """Drop any resident decoded form and return its budget charge
+        (callers that retire a store, e.g. ``LeafNode.decompress``)."""
+        self._invalidate()
+
+    def promotable(self) -> bool:
+        """Whether the next full decode would memoize (hot + budget room).
+
+        The impending use counts toward the threshold, so with
+        ``HOT_USES = 2`` the first touch scans packed and the *second*
+        decodes and memoizes — repeat-scanned leaves reach the warm
+        decoded path without a third cold pass.  An unlocked pre-check —
+        :meth:`_maybe_memoize` re-validates under the lock, so a lost
+        race only costs one redundant decode.
+        """
+        return (
+            self._uses + 1 >= _HOT_USES
+            and _memo_entries + self.count <= _MEMO_BUDGET
+        )
+
+    # ----------------------------------------------------------------- scan
+
+    def wants_packed(self) -> bool:
+        """Whether a scan of this leaf should run over the packed buffer.
+
+        ``PACKED_FORCE`` always scans packed, ``PACKED_OFF`` never does;
+        in the adaptive default a scan goes packed unless the decoded
+        form is already resident (free to reuse) or the leaf just turned
+        hot (decode once, then reuse).
+        """
+        mode = _PACKED_MODE
+        if mode == PACKED_AUTO:
+            return self._decoded is None and not self.promotable()
+        return mode == PACKED_FORCE
+
+    def scan_packed(
+        self,
+        key_low: Key,
+        key_high: Key,
+        t1: int,
+        t2: int,
+        node_start: int,
+        node_death: int,
+        out: list[tuple[Key, int, int, Any]] | None = None,
+    ) -> list[tuple[Key, int, int, Any]]:
+        """:func:`scan_packed` over this store's buffer and base values."""
+        self._uses += 1
+        # ``bytes`` indexes and slices measurably faster than a
+        # ``memoryview`` in the decoder's hot loop; the copy is one
+        # memcpy per scan and the buffer is never large.
+        return scan_packed(
+            bytes(self._buf), key_low, key_high, t1, t2,
+            node_start, node_death,
+            self._base_v, self._base_ts, self._base_te, out,
+        )
 
     # ------------------------------------------------------------- mutation
 
+    def _walk(self) -> Iterator[tuple[int, LeafEntry]]:
+        """Yield ``(byte_offset, entry)`` pairs, decoding incrementally.
+
+        The mutation-path decoder: entries are fresh objects (never the
+        memo), and each pair records where the entry's encoding starts so
+        :meth:`end_live` can splice the buffer tail.
+        """
+        buf = self._buf
+        pos = 0
+        size = len(buf)
+        widths = _LEN_CODE_TO_BYTES
+        base_v1, base_v2, base_v3 = self._base_v
+        base_ts = self._base_ts
+        base_te = self._base_te
+        from_bytes = int.from_bytes
+        k1 = k2 = k3 = start = 0
+        while pos < size:
+            offset = pos
+            first = buf[pos]
+            if first & 0x80:
+                pos += 1
+                w = widths[(first >> 5) & 0x3]
+                d2 = from_bytes(buf[pos : pos + w], "big")
+                pos += w
+                w = widths[(first >> 3) & 0x3]
+                d3 = from_bytes(buf[pos : pos + w], "big")
+                pos += w
+                w = widths[(first >> 1) & 0x3]
+                dts = from_bytes(buf[pos : pos + w], "big")
+                pos += w
+                k2 += (d2 >> 1) ^ -(d2 & 1)
+                k3 += (d3 >> 1) ^ -(d3 & 1)
+                start += (dts >> 1) ^ -(dts & 1)
+                end = NOW
+            else:
+                header = (first << 8) | buf[pos + 1]
+                pos += 2
+                values = []
+                for code in (
+                    (header >> 13) & 0x3,
+                    (header >> 11) & 0x3,
+                    (header >> 9) & 0x3,
+                ):
+                    w = widths[code]
+                    raw = from_bytes(buf[pos : pos + w], "big")
+                    pos += w
+                    values.append((raw >> 1) ^ -(raw & 1))
+                k1 = (k1 + values[0]) if header & 0x100 else base_v1 + values[0]
+                k2 = (k2 + values[1]) if header & 0x8 else base_v2 + values[1]
+                k3 = (k3 + values[2]) if header & 0x4 else base_v3 + values[2]
+                w = widths[(header >> 6) & 0x3]
+                start = base_ts + from_bytes(buf[pos : pos + w], "big")
+                pos += w
+                w = widths[(header >> 4) & 0x3]
+                te_raw = from_bytes(buf[pos : pos + w], "big")
+                pos += w
+                te_flag = header & 0x3
+                if te_flag == 0:
+                    end = NOW
+                elif te_flag == 1:
+                    end = start + te_raw
+                else:
+                    end = base_te + ((te_raw >> 1) ^ -(te_raw & 1))
+            yield offset, LeafEntry((k1, k2, k3), start, end, None)
+
     def end_live(self, key: Key, end: int) -> bool:
         """Set the end version of the live ``key`` entry, re-encoding the
-        buffer tail from the modified entry onward (Section 4.2.2)."""
-        decoded = self.entries()
-        target = None
-        for idx, entry in enumerate(decoded):
-            if entry.end == NOW and entry.key == key:
-                entry.end = end
-                target = idx
-                break
-        if target is None:
-            return False
-        # Rebuild from the modified entry: earlier bytes are unaffected
-        # because each entry's encoding depends only on its predecessor.
-        buf = bytearray()
+        buffer **tail** from the modified entry onward (Section 4.2.2).
+
+        Bytes before the modified entry are kept as-is: an entry's
+        encoding depends only on itself, its immediate predecessor, and
+        the node base values, so only the target (whose ``te`` rule
+        changes) and its successor (whose compact-header eligibility may
+        change) can re-encode differently — everything later is
+        re-emitted byte-identically.  The decoded entries are fresh
+        copies from the buffer walk, never the shared memo, so an
+        in-flight reader holding a previously returned tuple keeps
+        seeing the pre-delete state; the memo is invalidated after the
+        splice.
+        """
+        offset = None
         prev: LeafEntry | None = None
-        for entry in decoded:
-            self._encode(buf, entry, prev)
+        tail: list[LeafEntry] = []
+        for off, entry in self._walk():
+            if offset is None:
+                if entry.end == NOW and entry.key == key:
+                    offset = off
+                    entry.end = end
+                    tail.append(entry)
+                else:
+                    prev = entry
+            else:
+                tail.append(entry)
+        if offset is None:
+            return False
+        del self._buf[offset:]
+        for entry in tail:
+            self._encode(self._buf, entry, prev)
             prev = entry
-        self._buf = buf
         self._last_entry = prev.copy() if prev is not None else None
-        self._decoded = None
+        self._invalidate()
         return True
 
     def sizeof(self) -> int:
@@ -358,4 +746,6 @@ class CompressedLeafStore:
             else LeafEntry(tuple(last[0]), last[1], last[2], None)
         )
         store._decoded = None
+        store._uses = 0
+        store._memo_charge = 0
         return store

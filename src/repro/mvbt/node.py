@@ -14,7 +14,7 @@ matching the paper's trade-off).
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
 from ..model.time import NOW, Period
 from .entry import IndexEntry, Key, LeafEntry
@@ -121,19 +121,71 @@ class LeafNode(_NodeBase):
         self._entries = None
 
     def decompress(self) -> None:
-        """Switch back to the plain entry-list backend."""
+        """Switch back to the plain entry-list backend.
+
+        Entries are copied out of the store's (frozen, possibly shared)
+        decoded tuple: the list backend mutates entries in place on
+        logical delete, which must not be visible through any previously
+        handed-out tuple.
+        """
         if self._store is None:
             return
-        self._entries = list(self._store.entries())
+        self._entries = [e.copy() for e in self._store.entries()]
+        self._store.release_memo()
         self._store = None
 
     # --------------------------------------------------------------- access
 
     def entries(self) -> Iterator[LeafEntry]:
-        """All entries in insertion (nondecreasing start-version) order."""
+        """All entries in insertion (nondecreasing start-version) order.
+
+        Treat yielded entries as read-only: compressed leaves yield from
+        a decoded tuple that may be shared between readers.
+        """
         if self._store is not None:
             return iter(self._store.entries())
         return iter(self._entries)
+
+    def scan_pieces(
+        self,
+        key_low: Key,
+        key_high: Key,
+        t1: int,
+        t2: int,
+        out: list[tuple[Key, int, int, Any]],
+    ) -> list[tuple[Key, int, int, Any]]:
+        """Append this leaf's ``(key, lo, hi, payload)`` pieces inside the
+        query region to ``out`` (the per-leaf unit of every scan).
+
+        Compressed leaves evaluate the predicates directly over the
+        packed byte buffer (:meth:`CompressedLeafStore.scan_packed`)
+        unless the store's policy prefers the decoded form; plain leaves
+        and hot decoded leaves run the same filter over entry objects.
+        Entry intervals are clamped to the node's lifetime inline; the
+        two paths emit identical pieces in identical order.
+        """
+        store = self._store
+        node_start = self.start
+        node_death = self.death
+        if store is not None and store.wants_packed():
+            return store.scan_packed(
+                key_low, key_high, t1, t2, node_start, node_death, out
+            )
+        append = out.append
+        for entry in self.entries():
+            key = entry.key
+            if key < key_low or key >= key_high:
+                continue
+            lo = entry.start
+            if node_start > lo:
+                lo = node_start
+            hi = entry.end
+            if node_death < hi:
+                hi = node_death
+            if lo >= hi or lo >= t2 or t1 >= hi:
+                continue
+            append((key, lo, hi, entry.payload))
+        return out
 
     @property
     def count(self) -> int:

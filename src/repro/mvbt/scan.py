@@ -80,31 +80,17 @@ def scan_leaf_pieces(
 ) -> list[tuple[Key, int, int, Any]]:
     """One leaf's ``(key, start, end, payload)`` pieces inside the region.
 
-    The per-leaf unit of :func:`scan_pieces` (hot loop of every query —
-    entry intervals are clamped to the node's lifetime inline, no Period
-    objects are built).  Appends into ``out`` when given so the serial
-    scan keeps a single result list.  Publishes no metrics; batch callers
-    aggregate.
+    The per-leaf unit of :func:`scan_pieces` (hot loop of every query).
+    Dispatches to :meth:`~repro.mvbt.node.LeafNode.scan_pieces`:
+    compressed leaves evaluate the predicates directly over the packed
+    byte buffer (no per-entry objects for filtered entries), plain and
+    hot decoded leaves filter entry objects — identical output either
+    way.  Appends into ``out`` when given so the serial scan keeps a
+    single result list.  Publishes no metrics; batch callers aggregate.
     """
     if out is None:
         out = []
-    append = out.append
-    node_start = leaf.start
-    node_death = leaf.death
-    for entry in leaf.entries():
-        key = entry.key
-        if key < key_low or key >= key_high:
-            continue
-        lo = entry.start
-        if node_start > lo:
-            lo = node_start
-        hi = entry.end
-        if node_death < hi:
-            hi = node_death
-        if lo >= hi or lo >= t2 or t1 >= hi:
-            continue
-        append((key, lo, hi, entry.payload))
-    return out
+    return leaf.scan_pieces(key_low, key_high, t1, t2, out)
 
 
 def publish_scan_counters(leaves: int, examined: int, emitted: int) -> None:

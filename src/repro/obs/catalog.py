@@ -57,6 +57,9 @@ COUNTER_HELP: dict[str, str] = {
     "mvbt.compression.bytes_decoded": "compressed bytes expanded",
     "mvbt.compression.entries_decoded": "entries expanded from buffers",
     "mvbt.compression.leaves_decoded": "leaf-buffer cache misses",
+    "mvbt.compression.packed_entries_skipped":
+        "entries filtered by packed scans without materializing",
+    "mvbt.compression.packed_scans": "leaf scans answered over packed bytes",
     "mvbt.scan.entries_examined": "entries touched by scans",
     "mvbt.scan.entries_emitted": "entries passing scan predicates",
     "mvbt.scan.entries_pruned": "entries skipped by pruning",

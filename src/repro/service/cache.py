@@ -38,9 +38,56 @@ _INVALIDATIONS = _metrics.counter("service.cache.invalidations")
 DEFAULT_CAPACITY = 256
 
 
+_WS = " \t\n\r\f\v"
+
+
 def normalize_query(text: str) -> str:
-    """Collapse all whitespace runs — the result-cache key."""
-    return " ".join(text.split())
+    """Collapse whitespace runs *outside quoted literals* — the cache key.
+
+    Whitespace inside a quoted string (``"a  b"``, ``'a  b'``, and their
+    triple-quoted forms, with backslash escapes honored) is significant
+    to FILTER equality, so it is preserved byte-for-byte: collapsing it
+    would give ``FILTER(?x = "a  b")`` and ``FILTER(?x = "a b")`` the
+    same key and let them serve each other's (different) results — the
+    exact conflation the module contract forbids.  An unterminated quote
+    preserves the rest of the text verbatim (the parser will reject the
+    query anyway; the key just must not collide with a valid one).
+    """
+    out: list[str] = []
+    append = out.append
+    i = 0
+    n = len(text)
+    pending_ws = False
+    while i < n:
+        ch = text[i]
+        if ch in _WS:
+            pending_ws = True
+            i += 1
+            continue
+        if pending_ws and out:
+            append(" ")
+        pending_ws = False
+        if ch in "\"'":
+            quote = ch * 3 if text.startswith(ch * 3, i) else ch
+            j = i + len(quote)
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text.startswith(quote, j):
+                    j += len(quote)
+                    break
+                j += 1
+            else:
+                j = n
+            # j may have skipped past n via an escape at the end; slicing
+            # clamps, so the span is preserved verbatim either way.
+            append(text[i:j])
+            i = j
+            continue
+        append(ch)
+        i += 1
+    return "".join(out)
 
 
 def _snapshot(result: QueryResult, revision: int) -> QueryResult:

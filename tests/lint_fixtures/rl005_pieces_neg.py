@@ -1,0 +1,16 @@
+"""Negative RL005 (pieces): reading and copying scan output is fine."""
+from repro.mvbt import scan_pieces
+
+
+def summarize(tree):
+    pieces = scan_pieces(tree)
+    total = len(pieces)
+    for _key, lo, hi, _payload in pieces:  # iteration only
+        total += hi - lo
+    rows = list(pieces)  # a private copy...
+    rows.sort()          # ...is the caller's to mutate
+    pieces = sorted(rows)  # rebinding releases the tracked name
+    pieces.append(None)    # no longer scan output
+    out = []
+    out.extend(rows)       # plain list mutation is out of scope
+    return total, out, pieces

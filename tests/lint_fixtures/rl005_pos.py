@@ -1,7 +1,16 @@
-"""Positive RL005: compressed-leaf internals touched outside the codec."""
+"""Positive RL005: compressed-leaf internals touched outside the codec,
+and scan output mutated in place by a caller."""
+from repro.mvbt import scan_pieces
 from repro.mvbt.compression import CompressedLeafStore
 
 
 def rebuild(entries):
     store = CompressedLeafStore(entries)  # ad-hoc construction
     return len(store._buf)  # private buffer poked directly
+
+
+def tamper(tree, leaf):
+    pieces = scan_pieces(tree)
+    pieces.append(("k", 0, 1, None))  # mutates shared scan output
+    leaf.entries().sort()  # mutates a producer result directly
+    return pieces

@@ -64,7 +64,8 @@ POSITIVE_EXPECTATIONS = {
     "RL002": ("rl002_pos.py", 3),  # engine swap, insert, revision bump
     "RL003": ("rl003_pos.py", 2),  # apply-before-append, unlogged apply
     "RL004": ("rl004_pos.py", 2),  # .end and .death outside helpers
-    "RL005": ("rl005_pos.py", 3),  # import, construction, ._buf poke
+    "RL005": ("rl005_pos.py", 5),  # import, construction, ._buf poke,
+                                   # pieces.append, entries().sort
     "RL006": ("rl006_pos.py", 3),  # time.time, uuid4, random.random
     "RL007": ("rl007_pos.py", 2),  # silent broad except, bare except
     "RL008": ("rl008_pos.py", 4),  # [], {}, set(), list()
@@ -83,7 +84,7 @@ NEGATIVE_FIXTURES = {
     "RL002": ["rl002_neg.py"],
     "RL003": ["rl003_neg.py"],
     "RL004": ["rl004_neg.py"],
-    "RL005": ["rl005_neg.py"],
+    "RL005": ["rl005_neg.py", "rl005_pieces_neg.py"],
     "RL006": ["rl006_neg.py", "rl006_unscoped_neg.py"],
     "RL007": ["rl007_neg.py", "rl007_unscoped_neg.py"],
     "RL008": ["rl008_neg.py"],

@@ -57,13 +57,13 @@ def entry(v1, v2, v3, ts, te=NOW):
 class TestStoreRoundtrip:
     def test_empty(self):
         store = CompressedLeafStore([])
-        assert store.entries() == []
+        assert store.entries() == ()
         assert store.count == 0
 
     def test_single_live_entry(self):
         entries = [entry(100, 200, 300, 50)]
         store = CompressedLeafStore(entries)
-        assert store.entries() == entries
+        assert list(store.entries()) == entries
 
     def test_mixed_entries(self):
         entries = [
@@ -73,7 +73,7 @@ class TestStoreRoundtrip:
             entry(7, 1, 2, 58),
         ]
         store = CompressedLeafStore(entries)
-        assert store.entries() == entries
+        assert list(store.entries()) == entries
 
     def test_compact_header_used_for_shared_prefix(self):
         """Consecutive live entries sharing v1 use the 1-byte header."""
@@ -83,7 +83,7 @@ class TestStoreRoundtrip:
             entry(42, 6, 1, 11),
         ]
         store = CompressedLeafStore(entries)
-        assert store.entries() == entries
+        assert list(store.entries()) == entries
         # First entry is normal (2-byte header); followers are compact and
         # tiny: well under the uncompressed 40 bytes each.
         assert len(store._buf) < 3 * 12
@@ -160,7 +160,7 @@ def entry_lists(draw):
 @given(entry_lists())
 def test_roundtrip_property(entries):
     store = CompressedLeafStore(entries)
-    assert store.entries() == entries
+    assert list(store.entries()) == entries
 
 
 @settings(max_examples=40, deadline=None)

@@ -64,6 +64,29 @@ class TestNormalizeQuery:
             "SELECT ?o {B p ?o ?t}"
         )
 
+    def test_whitespace_inside_string_literal_is_preserved(self):
+        # "a  b" and "a b" are different values; collapsing inside the
+        # quotes would conflate two queries with different answers.
+        a = 'SELECT ?o {UC motto ?o ?t . FILTER(?o = "a  b")}'
+        b = 'SELECT ?o {UC motto ?o ?t . FILTER(?o = "a b")}'
+        assert normalize_query(a) != normalize_query(b)
+        # ...while layout whitespace outside the literal still collapses.
+        assert normalize_query('FILTER(?o  =  "a  b")') == normalize_query(
+            'FILTER(?o = "a  b")'
+        )
+
+    def test_escaped_quote_does_not_end_the_literal(self):
+        a = 'FILTER(?o = "es\\"c  aped")   x'
+        assert normalize_query(a) == 'FILTER(?o = "es\\"c  aped") x'
+
+    def test_single_and_triple_quoted_spans_preserved(self):
+        assert normalize_query("a  'x  y'  b") == "a 'x  y' b"
+        assert normalize_query('a  """x  y"""  b') == 'a """x  y""" b'
+
+    def test_unterminated_literal_keeps_tail_verbatim(self):
+        text = 'SELECT ?o {UC p ?o ?t . FILTER(?o = "oops   '
+        assert normalize_query(text).endswith('"oops   ')
+
 
 def _result(rows, revision=None):
     return QueryResult(variables=["o"], rows=rows, revision=revision)
@@ -134,6 +157,33 @@ def store(tmp_path):
     with TemporalStore(tmp_path, fsync=False) as s:
         s.load_dataset(fixture_graph())
         yield s
+
+
+class TestLiteralAwareCacheKeys:
+    """Regression: whitespace inside quoted literals is semantic, so the
+    two FILTER queries below must neither share a cache key nor ever
+    return each other's rows through the store."""
+
+    Q_TWO_SPACES = 'SELECT ?o {UC motto ?o ?t . FILTER(?o = "a  b")}'
+    Q_ONE_SPACE = 'SELECT ?o {UC motto ?o ?t . FILTER(?o = "a b")}'
+
+    def test_distinct_keys(self):
+        assert normalize_query(self.Q_TWO_SPACES) != normalize_query(
+            self.Q_ONE_SPACE
+        )
+
+    def test_distinct_results_through_the_store(self, tmp_path):
+        g = TemporalGraph()
+        g.add("UC", "motto", "a  b", D("01/01/2010"))
+        g.add("UC", "motto", "a b", D("01/01/2010"))
+        with TemporalStore(tmp_path, fsync=False) as s:
+            s.load_dataset(g)
+            # First query populates the cache; the second must miss it.
+            assert s.query(self.Q_TWO_SPACES).rows == [{"o": "a  b"}]
+            assert s.query(self.Q_ONE_SPACE).rows == [{"o": "a b"}]
+            # Cached re-reads stay per-key correct.
+            assert s.query(self.Q_TWO_SPACES).rows == [{"o": "a  b"}]
+            assert s.query(self.Q_ONE_SPACE).rows == [{"o": "a b"}]
 
 
 class TestStoreResultCache:
