@@ -10,14 +10,20 @@ HTTP:
    record the exact response bytes per query,
 3. apply durable updates (routed to both shards) and wait until each
    replica's applied LSN catches up to its primary,
-4. SIGKILL one shard's primary worker process (no clean shutdown),
-5. re-run the query mix — every response must be byte-identical to the
+4. run one traced scatter query and assert ``/debug/traces?id=`` returns
+   a single stitched span tree with worker spans from at least two
+   distinct processes (shard_id/role/pid annotated, clock skew
+   estimated), then scrape ``/metrics?scope=cluster`` and assert
+   nonzero per-shard request counters and zero/finite replica lag,
+5. SIGKILL one shard's primary worker process (no clean shutdown),
+6. re-run the query mix — every response must be byte-identical to the
    pre-kill run (modulo the updates, which are re-checked explicitly) —
    and issue a write owned by the dead shard, which forces the
    coordinator to promote the replica,
-6. assert ``/healthz`` shows the promoted primary (alive, new pid, the
-   replica slot drained) and that ``cluster.coordinator.failovers`` is
-   nonzero in ``/metrics``.
+7. assert ``/healthz`` shows the promoted primary (alive, new pid, the
+   replica slot drained), that ``cluster.coordinator.failovers`` is
+   nonzero in ``/metrics``, and that ``/debug/events`` recorded the
+   failover and the promotion.
 
 Run directly (no pytest needed)::
 
@@ -159,6 +165,72 @@ def main() -> int:
             print("replicas caught up:",
                   [m["primary"]["applied_lsn"] for m in members])
 
+            # a traced scatter query must come back as ONE stitched
+            # span tree holding worker spans from >= 2 processes
+            status, reply = request_json("POST", "/query", {
+                "query": "SELECT ?s ?p ?o {?s ?p ?o ?t}",
+            })
+            assert status == 200, status
+            trace_id = reply.get("trace_id")
+            assert trace_id, "sampled POST should return a trace_id"
+            status, detail = request_json(
+                "GET", f"/debug/traces?id={trace_id}")
+            assert status == 200, (status, detail)
+
+            def walk(node, out):
+                out.append(node)
+                for child in node.get("children", []):
+                    walk(child, out)
+                return out
+
+            spans = walk(detail["root"], [])
+            worker_pids = {
+                span["attrs"]["pid"] for span in spans
+                if "pid" in span["attrs"] and "role" in span["attrs"]
+                and "shard_id" in span["attrs"]
+            }
+            assert len(worker_pids) >= 2, (worker_pids, spans)
+            assert server.pid not in worker_pids
+            skews = [
+                span["attrs"]["clock_skew_ms"] for span in spans
+                if "clock_skew_ms" in span["attrs"]
+            ]
+            assert skews, "per-hop clock-skew annotations expected"
+            print(f"stitched trace {trace_id}: worker spans from "
+                  f"{sorted(worker_pids)}")
+
+            # federated metrics: per-shard counters + finite replica lag
+            status, federated = request_json(
+                "GET", "/metrics?scope=cluster&force=1")
+            assert status == 200, status
+            shard_groups = [
+                g for g in federated["groups"]
+                if g["labels"].get("role") == "shard"
+            ]
+            assert len(shard_groups) == 2, federated["groups"]
+            for group in shard_groups:
+                count = group["metrics"]["counters"].get(
+                    "cluster.worker.requests", 0)
+                assert count > 0, group
+            replica_entries = [
+                m for m in federated["members"]
+                if m.get("role") == "replica"
+            ]
+            assert len(replica_entries) == 2, federated["members"]
+            for entry in replica_entries:
+                assert entry["alive"], entry
+                assert entry["lag_lsn"] == 0, entry
+                lag_s = entry.get("lag_seconds")
+                assert lag_s is None or 0.0 <= lag_s < 120.0, entry
+            status, raw = request(
+                "GET", "/metrics?scope=cluster&format=prometheus")
+            text = raw.decode("utf-8")
+            assert ('repro_cluster_worker_requests_total'
+                    '{shard="0",role="shard"}') in text, text[:500]
+            assert "repro_cluster_member_up{" in text
+            print("federated metrics scrape ok "
+                  f"({len(federated['members'])} members)")
+
             before = query_bytes(mix)
             print(f"query mix recorded: {len(before)} responses")
 
@@ -204,6 +276,16 @@ def main() -> int:
             assert failovers >= 1, failovers
             print("promoted-primary query mix byte-identical; "
                   f"failovers={failovers}")
+
+            # the event log recorded the kill-failover promotion
+            status, events_body = request_json(
+                "GET", "/debug/events?limit=200")
+            assert status == 200, status
+            names = [e["event"] for e in events_body["events"]]
+            assert "cluster.event.failover" in names, names
+            assert "cluster.event.promoted" in names, names
+            print(f"event log ok ({len(events_body['events'])} events, "
+                  f"promotion recorded)")
         finally:
             server.send_signal(signal.SIGINT)
             try:

@@ -164,6 +164,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--replicas", type=int, default=0, metavar="M",
                        help="WAL-shipped read replicas per shard "
                             "(requires --shards; default 0)")
+    serve.add_argument("--metrics-refresh", type=float, default=0.0,
+                       metavar="SECS",
+                       help="background federated-metrics pull interval "
+                            "for /metrics?scope=cluster (requires "
+                            "--shards; 0 = pull on demand; default 0)")
 
     cluster_status = sub.add_parser(
         "cluster-status",
@@ -176,6 +181,10 @@ def build_parser() -> argparse.ArgumentParser:
              "(default http://127.0.0.1:8094)")
     cluster_status.add_argument("--json", action="store_true",
                                 help="emit the raw /healthz payload")
+    cluster_status.add_argument(
+        "--metrics", action="store_true",
+        help="also pull /metrics?scope=cluster and print per-member "
+             "request counts and replica lag")
 
     doctor = sub.add_parser(
         "doctor",
@@ -474,6 +483,7 @@ def _serve_cluster(args) -> int:
         fsync=not args.no_fsync,
         query_cache_size=args.query_cache or None,
         parallel=True if args.parallel else None,
+        metrics_refresh=args.metrics_refresh or None,
     )
     try:
         if args.data:
@@ -555,7 +565,61 @@ def cmd_cluster_status(args) -> int:
             line = f"    replica {index}: pid {replica.get('pid')} {state}"
             if replica.get("alive"):
                 line += f", lsn {replica.get('applied_lsn')}"
+                lag_lsn = replica.get("lag_lsn")
+                if lag_lsn:
+                    line += f", lag {lag_lsn} lsn"
+                    lag_seconds = replica.get("lag_seconds")
+                    if lag_seconds is not None:
+                        line += f" ({lag_seconds:.3f}s behind)"
             print(line)
+    if args.metrics:
+        return _print_cluster_metrics(args.url)
+    return 0
+
+
+def _print_cluster_metrics(base_url: str) -> int:
+    """``cluster-status --metrics``: federated per-group counters + lag."""
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    url = base_url.rstrip("/") + "/metrics?scope=cluster"
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            federated = _json.loads(response.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError) as error:
+        print(f"error: cannot read {url}: {error}", file=sys.stderr)
+        return 1
+    print("\nfederated metrics "
+          f"(watermark {federated.get('watermark')}):")
+    for group in federated.get("groups", []):
+        labels = group.get("labels", {})
+        name = ",".join(
+            f"{key}={value}" for key, value in sorted(labels.items())
+        )
+        metrics = group.get("metrics", {})
+        counters = metrics.get("counters", {})
+        requests = counters.get("cluster.worker.requests")
+        replicated = counters.get("cluster.worker.replicated")
+        line = f"  [{name or 'coordinator'}] x{group.get('members', 1)}"
+        if requests is not None:
+            line += f": {requests} requests"
+        if replicated:
+            line += f", {replicated} records replicated"
+        print(line)
+    for entry in federated.get("members", []):
+        if entry.get("role") != "replica":
+            continue
+        lag = entry.get("lag_lsn")
+        seconds = entry.get("lag_seconds")
+        state = "up" if entry.get("alive") else "DOWN"
+        line = (f"  replica shard={entry.get('shard')} "
+                f"#{entry.get('replica')} pid {entry.get('pid')} {state}")
+        if lag is not None:
+            line += f": lag {lag} lsn"
+        if seconds is not None:
+            line += f", {seconds:.3f}s behind"
+        print(line)
     return 0
 
 

@@ -34,6 +34,7 @@ Consistency model — single coordinator, single writer per shard:
 from __future__ import annotations
 
 import multiprocessing
+import os
 import socket
 import threading
 import time as _time
@@ -43,6 +44,8 @@ from pathlib import Path
 from ..engine.engine import QueryResult
 from ..model.time import MIN_TIME, NOW, TimeError
 from ..mvbt.tree import DuplicateKeyError, TimeOrderError
+from ..obs import events as _events
+from ..obs import federation as _federation
 from ..obs import log as _obslog
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
@@ -73,8 +76,14 @@ _FAILOVERS = _metrics.counter("cluster.coordinator.failovers")
 _RPC_ERRORS = _metrics.counter("cluster.coordinator.rpc_errors")
 _REPLICA_READS = _metrics.counter("cluster.coordinator.replica_reads")
 _REPLICA_LAGGING = _metrics.counter("cluster.coordinator.replica_lagging")
+_FEDERATION_PULLS = _metrics.counter("cluster.coordinator.federation_pulls")
+_FEDERATION_ERRORS = _metrics.counter(
+    "cluster.coordinator.federation_errors"
+)
 _WATERMARK = _metrics.gauge("cluster.coordinator.watermark")
 _SHARDS_ALIVE = _metrics.gauge("cluster.coordinator.shards_alive")
+_LAG_MAX_LSN = _metrics.gauge("cluster.lag.max_lsn")
+_LAG_MAX_SECONDS = _metrics.gauge("cluster.lag.max_seconds")
 _RPC_HIST = _metrics.histogram("cluster.coordinator.rpc_ms")
 
 #: kind -> exception raised coordinator-side, mirroring the worker's
@@ -117,8 +126,18 @@ class ShardClient:
         Connection-level failures (``OSError`` / :class:`ProtocolError`)
         propagate raw — the caller decides between retry, failover and
         surfacing.
+
+        Trace stitching is centralized here: inside a live trace the
+        request carries the coordinator's trace id (so the worker traces
+        its side), and a span attachment riding a success reply is
+        popped off the envelope and grafted under the caller's current
+        span with the send/recv wall-clock stamps.
         """
+        if _trace.active() and "trace_id" not in payload:
+            payload = dict(payload)
+            payload["trace_id"] = _trace.current_trace_id()
         sock = self._checkout()
+        sent_ts = _time.time()
         try:
             if timeout is not None:
                 sock.settimeout(timeout)
@@ -127,10 +146,16 @@ class ShardClient:
         except (OSError, ProtocolError):
             self._discard(sock)
             raise
+        recv_ts = _time.time()
         if timeout is not None:
             sock.settimeout(self.timeout)
         self._checkin(sock)
         if response.get("ok"):
+            attachment = response.pop(protocol.TRACE_KEY, None)
+            if attachment is not None:
+                _trace.graft_remote_trace(
+                    attachment, sent_ts=sent_ts, recv_ts=recv_ts
+                )
             return response
         kind = response.get("kind")
         message = response.get("error", "worker error")
@@ -214,6 +239,7 @@ class ClusterStore:
         parallel: bool | None = None,
         rpc_timeout: float = 30.0,
         start_timeout: float = 60.0,
+        metrics_refresh: float | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -245,8 +271,23 @@ class ClusterStore:
             max_workers=max(4, 2 * shards),
             thread_name_prefix="repro-scatter",
         )
+        #: guards only the federated-metrics cache; the member RPCs run
+        #: outside it so a slow worker never blocks cache readers.
+        self._federation_lock = sanitized_lock(
+            threading.Lock(), "cluster.federation", allow_blocking=False
+        )
+        self._federation_cache: dict | None = None
+        self._federation_ts = 0.0
+        self._federation_stop = threading.Event()
+        self._federation_thread: threading.Thread | None = None
         self._spawn_topology()
         self._bootstrap_watermarks()
+        if metrics_refresh and metrics_refresh > 0:
+            self._federation_thread = threading.Thread(
+                target=self._federation_loop, args=(metrics_refresh,),
+                name="repro-federation", daemon=True,
+            )
+            self._federation_thread.start()
 
     # ------------------------------------------------------------- topology
 
@@ -379,9 +420,10 @@ class ClusterStore:
                 return  # another thread already promoted; just retry
             dead.close()
             wal_path = str(dead.directory / TemporalStore.WAL_NAME)
-            _obslog.LOGGER.warning(
-                "cluster_failover", shard=member.shard_id,
-                cause=str(cause), dead_pid=dead.pid,
+            _events.EVENTS.record(
+                "cluster.event.failover", level="warning",
+                shard_id=member.shard_id, cause=str(cause),
+                dead_pid=dead.pid, trace_id=_trace.current_trace_id(),
             )
             while member.replicas:
                 candidate = member.replicas.pop(0)
@@ -394,9 +436,10 @@ class ClusterStore:
                         timeout=30.0,
                     )
                 except (OSError, ProtocolError) as error:
-                    _obslog.LOGGER.warning(
-                        "cluster_promote_failed", shard=member.shard_id,
-                        error=str(error),
+                    _events.EVENTS.record(
+                        "cluster.event.promote_failed", level="warning",
+                        shard_id=member.shard_id, error=str(error),
+                        dead_pid=candidate.pid,
                     )
                     candidate.close()
                     continue
@@ -409,9 +452,10 @@ class ClusterStore:
                 )
                 if _metrics.ENABLED:
                     _FAILOVERS.inc()
-                _obslog.LOGGER.warning(
-                    "cluster_promoted", shard=member.shard_id,
-                    new_pid=candidate.pid,
+                _events.EVENTS.record(
+                    "cluster.event.promoted", level="warning",
+                    shard_id=member.shard_id, new_pid=candidate.pid,
+                    acked_lsn=member.acked_lsn,
                 )
                 return
             if _metrics.ENABLED:
@@ -432,23 +476,29 @@ class ClusterStore:
         """
         payload = dict(payload)
         payload["min_lsn"] = member.acked_lsn
-        trace_id = _trace.current_trace_id()
-        if trace_id is not None:
-            payload["trace_id"] = trace_id
         replica = member.next_replica()
         if replica is not None:
             try:
-                response = replica.rpc(payload)
+                with _trace.span("cluster.rpc", shard=member.shard_id,
+                                 op=payload.get("op"), role="replica"):
+                    response = replica.rpc(payload)
                 if _metrics.ENABLED:
                     _REPLICA_READS.inc()
                 return response
             except ReplicaLagging:
                 if _metrics.ENABLED:
                     _REPLICA_LAGGING.inc()
+                _events.EVENTS.record(
+                    "cluster.event.replica_lagging",
+                    shard_id=member.shard_id, min_lsn=member.acked_lsn,
+                    trace_id=_trace.current_trace_id(),
+                )
             except (OSError, ProtocolError) as error:
-                _obslog.LOGGER.warning(
-                    "cluster_replica_dead", shard=member.shard_id,
-                    error=str(error),
+                _events.EVENTS.record(
+                    "cluster.event.member_dead", level="warning",
+                    shard_id=member.shard_id, role="replica",
+                    pid=replica.pid, error=str(error),
+                    trace_id=_trace.current_trace_id(),
                 )
                 replica.close()
                 member.replicas = [
@@ -570,13 +620,11 @@ class ClusterStore:
                 )
             shard_id = self.planner.note_write(subject, predicate)
             member = self._members[shard_id]
-            trace_id = _trace.current_trace_id()
+            # trace_id rides along inside ShardClient.rpc when tracing.
             payload = {
                 "op": "update", "update": op, "subject": subject,
                 "predicate": predicate, "object": object, "time": time,
             }
-            if trace_id is not None:
-                payload["trace_id"] = trace_id
             acked_before = member.acked_lsn
             primary_before = member.primary
             try:
@@ -632,9 +680,10 @@ class ClusterStore:
             record = protocol.decode_wal_record(fields)
             if (record.op, record.subject, record.predicate,
                     record.object, record.time) == wanted:
-                _obslog.LOGGER.warning(
-                    "cluster_update_recovered", shard=member.shard_id,
-                    lsn=record.lsn,
+                _events.EVENTS.record(
+                    "cluster.event.update_recovered", level="warning",
+                    shard_id=member.shard_id, lsn=record.lsn,
+                    trace_id=_trace.current_trace_id(),
                 )
                 return {"ok": True, "lsn": record.lsn,
                         "revision": status["revision"]}
@@ -671,9 +720,10 @@ class ClusterStore:
                         replica.rpc(  # repro-lint: disable=RL013
                             {"op": "resync"}, timeout=300.0)
                     except (OSError, ProtocolError) as error:
-                        _obslog.LOGGER.warning(
-                            "cluster_replica_dead", shard=member.shard_id,
-                            error=str(error),
+                        _events.EVENTS.record(
+                            "cluster.event.member_dead", level="warning",
+                            shard_id=member.shard_id, role="replica",
+                            pid=replica.pid, error=str(error),
                         )
                         replica.close()
                         member.replicas.remove(replica)
@@ -788,6 +838,10 @@ class ClusterStore:
                     entry["replicas"].append({
                         "role": status["role"], "pid": status["pid"],
                         "applied_lsn": status["revision"], "alive": True,
+                        "lag_lsn": max(
+                            0, member.acked_lsn - status["revision"]
+                        ),
+                        "lag_seconds": status.get("lag_seconds"),
                     })
                 except (OSError, ProtocolError) as error:
                     entry["replicas"].append({
@@ -807,12 +861,156 @@ class ClusterStore:
         """Cluster-shaped ``/debug/storage`` payload."""
         return {"cluster": self.cluster_status()}
 
+    # ------------------------------------------------------------ federation
+
+    def _member_rows(self) -> list[dict]:
+        """One row per worker process, for metrics/event pulls."""
+        rows = []
+        for member in self._members:
+            rows.append({
+                "client": member.primary, "shard": member.shard_id,
+                "role": "shard", "replica": None,
+                "acked_lsn": member.acked_lsn,
+            })
+            for index, replica in enumerate(member.replicas):
+                rows.append({
+                    "client": replica, "shard": member.shard_id,
+                    "role": "replica", "replica": index,
+                    "acked_lsn": member.acked_lsn,
+                })
+        return rows
+
+    def _pull_member(self, row: dict) -> dict:
+        """Pull one member's registry snapshot (plus lag, for replicas).
+
+        Never raises: a dead or unreachable member comes back as an
+        ``alive: false`` entry so a single crashed worker cannot take
+        down the whole ``/metrics?scope=cluster`` scrape.
+        """
+        client: ShardClient = row["client"]
+        entry: dict = {
+            "shard": row["shard"], "role": row["role"],
+            "pid": client.pid, "alive": False, "enabled": False,
+            "metrics": {},
+        }
+        if row["replica"] is not None:
+            entry["replica"] = row["replica"]
+        if not client.alive:
+            return entry
+        try:
+            response = client.rpc({"op": "metrics"}, timeout=5.0)
+        except (OSError, ProtocolError, StoreError) as error:
+            if _metrics.ENABLED:
+                _FEDERATION_ERRORS.inc()
+            entry["error"] = str(error)
+            return entry
+        entry["alive"] = True
+        entry["enabled"] = bool(response.get("enabled"))
+        entry["metrics"] = response.get("metrics") or {}
+        if row["role"] == "replica":
+            applied = int(response.get("revision") or 0)
+            entry["applied_lsn"] = applied
+            entry["lag_lsn"] = max(0, row["acked_lsn"] - applied)
+            entry["lag_seconds"] = response.get("lag_seconds")
+        return entry
+
+    def federated_metrics(self, max_age: float = 2.0,
+                          force: bool = False) -> dict:
+        """Pull and merge every member's metrics snapshot.
+
+        Returns the federated shape ``/metrics?scope=cluster`` serves:
+        ``members`` (one raw entry per process, coordinator first, with
+        per-replica ``lag_lsn``/``lag_seconds``) and ``groups`` (one
+        merged snapshot per ``(shard, role)`` label set — see
+        :func:`repro.obs.federation.build_groups`).  Pulls within
+        ``max_age`` seconds are served from cache unless ``force``;
+        the background refresh loop (``metrics_refresh``) keeps the
+        cache warm so scrapes are cheap.
+        """
+        if self._closed:
+            raise StoreError("store is closed")
+        if not force:
+            with self._federation_lock:
+                cached = self._federation_cache
+                if (cached is not None
+                        and _time.time() - self._federation_ts < max_age):
+                    return cached
+        if _metrics.ENABLED:
+            _FEDERATION_PULLS.inc()
+        members: list[dict] = [{
+            "role": "coordinator", "pid": os.getpid(), "alive": True,
+            "enabled": _metrics.ENABLED,
+            "metrics": (
+                _metrics.REGISTRY.snapshot() if _metrics.ENABLED else {}
+            ),
+        }]
+        rows = self._member_rows()
+        futures = [
+            self._scatter_pool.submit(self._pull_member, row)
+            for row in rows
+        ]
+        members.extend(future.result() for future in futures)
+        lag_lsn = [
+            entry["lag_lsn"] for entry in members
+            if entry.get("lag_lsn") is not None
+        ]
+        lag_seconds = [
+            entry["lag_seconds"] for entry in members
+            if entry.get("lag_seconds") is not None
+        ]
+        if _metrics.ENABLED:
+            _LAG_MAX_LSN.set(max(lag_lsn, default=0))
+            _LAG_MAX_SECONDS.set(max(lag_seconds, default=0.0))
+        federated = {
+            "scope": "cluster",
+            "collected_at": round(_time.time(), 3),
+            "watermark": self._watermark,
+            "members": members,
+            "groups": _federation.build_groups(members),
+        }
+        with self._federation_lock:
+            self._federation_cache = federated
+            self._federation_ts = _time.time()
+        return federated
+
+    def _federation_loop(self, interval: float) -> None:
+        while not self._federation_stop.wait(interval):
+            if self._closed:
+                return
+            try:
+                self.federated_metrics(force=True)
+            except (StoreError, RuntimeError):
+                # closed mid-refresh (RuntimeError: pool shut down)
+                return
+
+    def cluster_events(self, limit: int = 100) -> list[dict]:
+        """Coordinator + member event rings merged, newest first."""
+        if self._closed:
+            raise StoreError("store is closed")
+        events = list(_events.EVENTS.recent(limit))
+        for row in self._member_rows():
+            client: ShardClient = row["client"]
+            if not client.alive:
+                continue
+            try:
+                response = client.rpc(
+                    {"op": "events", "limit": limit}, timeout=5.0
+                )
+            except (OSError, ProtocolError, StoreError):
+                continue
+            events.extend(response.get("events") or [])
+        events.sort(key=lambda event: event.get("ts", 0.0), reverse=True)
+        return events[:limit]
+
     # -------------------------------------------------------------- closing
 
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
+        self._federation_stop.set()
+        if self._federation_thread is not None:
+            self._federation_thread.join(timeout=2.0)
         self._scatter_pool.shutdown(wait=False)
         clients = []
         for member in self._members:

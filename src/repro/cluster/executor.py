@@ -39,6 +39,7 @@ from ..engine.operators import (
     nested_loop_product,
     project,
 )
+from ..obs import trace as _trace
 from ..sparqlt.ast import (
     GroupGraphPattern,
     QuadPattern,
@@ -161,7 +162,8 @@ def distributed_rows(
                 filters=covered,
             )
             requests.append((sub, planner.shards_for_pattern(pattern)))
-        partials = scatter_many(requests)
+        with _trace.span("cluster.scatter", requests=len(requests)):
+            partials = scatter_many(requests)
         for index, partial in zip(order, partials):
             pattern_vars = group.patterns[index].variables()
             if rows is None:
@@ -229,8 +231,12 @@ def distributed_query(
 ) -> list[Row]:
     """Full scatter-path evaluation: group algebra, project, canonical
     sort."""
-    rows = distributed_rows(query.group, planner, scatter_many, horizon)
-    return canonical_sort(project(rows, query.select, None), query.select)
+    with _trace.span("cluster.distributed"):
+        rows = distributed_rows(query.group, planner, scatter_many, horizon)
+        with _trace.span("cluster.gather", rows=len(rows)):
+            return canonical_sort(
+                project(rows, query.select, None), query.select
+            )
 
 
 def canonical_sort(rows: list[Row], variables: list[str]) -> list[Row]:

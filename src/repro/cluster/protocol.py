@@ -19,6 +19,7 @@ than re-rendered text).
 from __future__ import annotations
 
 import json
+import os
 import socket
 import struct
 
@@ -122,6 +123,37 @@ def encode_row(row: dict) -> dict:
 
 def decode_row(row: dict) -> dict:
     return {name: decode_value(value) for name, value in row.items()}
+
+
+# --------------------------------------------------------- trace envelopes
+#
+# When a request payload carries the coordinator's ``trace_id``, the
+# worker traces its side of the op and rides the finished, size-bounded
+# span subtree back on the success response under ``TRACE_KEY``.  The
+# coordinator pops the attachment off the reply before anything else
+# sees it and grafts the subtree under its live ``cluster.rpc`` span
+# (see :func:`repro.obs.trace.graft_remote_trace`), which uses the
+# ``recv_ts``/``send_ts`` stamps for the per-hop clock-skew estimate.
+
+#: Reserved response-envelope key carrying a worker's exported spans.
+TRACE_KEY = "trace"
+
+
+def encode_trace_envelope(trace, *, shard_id: int, role: str,
+                          recv_ts: float, send_ts: float) -> dict:
+    """Serialize a worker-side finished trace for the response envelope."""
+    from ..obs import trace as _trace
+
+    return {
+        "trace_id": trace.trace_id,
+        "shard_id": shard_id,
+        "role": role,
+        "pid": os.getpid(),
+        "epoch": trace.epoch,
+        "recv_ts": recv_ts,
+        "send_ts": send_ts,
+        "root": _trace.export_spans(trace.root),
+    }
 
 
 # ------------------------------------------------------------- WAL records

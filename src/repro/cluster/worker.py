@@ -27,17 +27,19 @@ recovery paths keep a follower convergent:
 from __future__ import annotations
 
 import contextlib
+import json
 import os
 import shutil
 import socket
 import socketserver
 import threading
+import time as _time
 from dataclasses import dataclass
 from pathlib import Path
 
 from ..model.time import TimeError
 from ..mvbt.tree import DuplicateKeyError, TimeOrderError
-from ..obs import log as _obslog
+from ..obs import events as _events
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
 from ..service.snapshot import is_snapshot
@@ -59,7 +61,9 @@ from .protocol import (
 
 _REQUESTS = _metrics.counter("cluster.worker.requests")
 _REPLICATED = _metrics.counter("cluster.worker.replicated")
+_REPLICATED_BYTES = _metrics.counter("cluster.worker.replicated_bytes")
 _WAL_SHIPPED = _metrics.counter("cluster.worker.wal_shipped")
+_WAL_SHIPPED_BYTES = _metrics.counter("cluster.worker.wal_shipped_bytes")
 _RESYNCS = _metrics.counter("cluster.worker.resyncs")
 
 
@@ -91,6 +95,48 @@ class _WorkerState:
         #: serializes resync/promote against each other (queries keep
         #: serving off whatever store object they already grabbed).
         self.maintenance = threading.Lock()
+        #: replication-lag telemetry (replicas only; written by the tail
+        #: thread, read lock-free by status/metrics ops).
+        self.primary_head_lsn: int | None = None
+        self.last_applied_stamp: float | None = None
+
+
+def _event_fields(state: _WorkerState, **fields) -> dict:
+    """Common correlation fields for worker-side events and log lines.
+
+    Every structured line a worker emits carries ``shard_id``/``role``/
+    ``pid`` plus the worker-local ``trace_id`` when the call happens
+    under a traced RPC — the same id the coordinator records as
+    ``remote_trace_id`` on the grafted span, so logs join stitched
+    traces.
+    """
+    fields.update(
+        shard_id=state.config.shard_id,
+        role=state.role,
+        pid=os.getpid(),
+        trace_id=_trace.current_trace_id(),
+    )
+    return fields
+
+
+def _replica_lag_seconds(state: _WorkerState) -> float | None:
+    """Seconds this replica is behind its primary, or None if unknown.
+
+    Zero when the last ``wal_since`` poll found us at the primary's head;
+    otherwise the age of the newest shipped-record stamp we applied.
+    Primaries report None.
+    """
+    if state.role != "replica":
+        return None
+    head = state.primary_head_lsn
+    if head is None:
+        return None
+    if state.store.revision >= head:
+        return 0.0
+    stamp = state.last_applied_stamp
+    if stamp is None:
+        return None
+    return max(0.0, _time.time() - stamp)
 
 
 def _open_store(config: WorkerConfig) -> TemporalStore:
@@ -137,9 +183,9 @@ def _resync(state: _WorkerState) -> None:
         state.store = _open_store(config)
         if _metrics.ENABLED:
             _RESYNCS.inc()
-        _obslog.LOGGER.info(
-            "cluster_resync", shard=config.shard_id,
-            revision=state.store.revision,
+        _events.EVENTS.record(
+            "cluster.event.resync",
+            **_event_fields(state, revision=state.store.revision),
         )
 
 
@@ -157,21 +203,24 @@ def _tail_loop(state: _WorkerState) -> None:
             # polling — promotion, if any, arrives from the coordinator.
             state.stopping.wait(config.poll_interval)
             continue
-        records = [
-            protocol.decode_wal_record(fields)
-            for fields in response.get("records", [])
-        ] if response.get("ok") else []
+        encoded = response.get("records", []) if response.get("ok") else []
+        records = [protocol.decode_wal_record(fields) for fields in encoded]
+        stamps = response.get("stamps") or []
+        if response.get("ok"):
+            state.primary_head_lsn = response.get("head_lsn")
         applied = 0
-        for record in records:
+        applied_bytes = 0
+        for index, record in enumerate(records):
             if state.stopping.is_set() or state.role != "replica":
                 break
             try:
                 state.store.apply_replicated(record)
                 applied += 1
             except StoreError as error:
-                _obslog.LOGGER.warning(
-                    "cluster_replication_gap", shard=config.shard_id,
-                    lsn=record.lsn, error=str(error),
+                _events.EVENTS.record(
+                    "cluster.event.replication_gap", level="warning",
+                    **_event_fields(state, lsn=record.lsn,
+                                    error=str(error)),
                 )
                 _resync(state)
                 break
@@ -180,14 +229,21 @@ def _tail_loop(state: _WorkerState) -> None:
                 # The record does not apply to our state: we diverged
                 # (e.g. raced a bulk load).  Snap back to the primary's
                 # snapshot rather than guessing.
-                _obslog.LOGGER.warning(
-                    "cluster_replication_diverged", shard=config.shard_id,
-                    lsn=record.lsn, error=str(error),
+                _events.EVENTS.record(
+                    "cluster.event.diverged", level="warning",
+                    **_event_fields(state, lsn=record.lsn,
+                                    error=str(error)),
                 )
                 _resync(state)
                 break
+            stamp = stamps[index] if index < len(stamps) else None
+            if stamp is not None:
+                state.last_applied_stamp = stamp
+            if _metrics.ENABLED:
+                applied_bytes += len(json.dumps(encoded[index]))
         if applied and _metrics.ENABLED:
             _REPLICATED.inc(applied)
+            _REPLICATED_BYTES.inc(applied_bytes)
         if not records:
             state.stopping.wait(config.poll_interval)
 
@@ -220,17 +276,18 @@ def _promote(state: _WorkerState, wal_path: str | None) -> None:
                 raise
             # Gap against the dead primary's log: its snapshot holds the
             # truncated prefix — resync onto it and replay once more.
-            _obslog.LOGGER.warning(
-                "cluster_promote_gap", shard=state.config.shard_id,
-                error=str(error),
+            _events.EVENTS.record(
+                "cluster.event.promote_gap", level="warning",
+                **_event_fields(state, error=str(error)),
             )
             _resync(state)
             continue
         break
     state.role = "shard"
-    _obslog.LOGGER.info(
-        "cluster_promoted", shard=state.config.shard_id,
-        revision=state.store.revision, caught_up=applied,
+    _events.EVENTS.record(
+        "cluster.event.promoted",
+        **_event_fields(state, revision=state.store.revision,
+                        caught_up=applied),
     )
 
 
@@ -251,6 +308,7 @@ def _op_status(state: _WorkerState, payload: dict) -> dict:
         "live_facts": store.live_facts,
         "horizon": store.engine.horizon,
         "pid": os.getpid(),
+        "lag_seconds": _replica_lag_seconds(state),
     }
 
 
@@ -334,11 +392,19 @@ def _op_load(state: _WorkerState, payload: dict) -> dict:
 
 def _op_wal_since(state: _WorkerState, payload: dict) -> dict:
     records = state.store.wal_since(payload.get("lsn", 0))
+    encoded = [protocol.encode_wal_record(r) for r in records]
     if records and _metrics.ENABLED:
         _WAL_SHIPPED.inc(len(records))
+        _WAL_SHIPPED_BYTES.inc(len(json.dumps(encoded)))
+    # Stamps ride the shipping envelope, not the WAL format: each is the
+    # wall-clock time the record became durable here (None once pruned
+    # from the tracking window), and head_lsn lets a caught-up follower
+    # report zero lag without any stamp arithmetic.
     return {
         "ok": True,
-        "records": [protocol.encode_wal_record(r) for r in records],
+        "records": encoded,
+        "stamps": [state.store.append_walltime(r.lsn) for r in records],
+        "head_lsn": state.store.revision,
     }
 
 
@@ -373,7 +439,37 @@ def _op_predicates(state: _WorkerState, payload: dict) -> dict:
 
 
 def _op_metrics(state: _WorkerState, payload: dict) -> dict:
-    return {"ok": True, "metrics": _metrics.REGISTRY.snapshot()}
+    """This member's registry snapshot, for the federation collector.
+
+    With observability off the registry holds stale pre-disable values;
+    reporting ``enabled: false`` with empty metrics lets the coordinator
+    skip this member instead of merging frozen series.
+    """
+    if not _metrics.ENABLED:
+        return {
+            "ok": True,
+            "enabled": False,
+            "metrics": {},
+            "role": state.role,
+            "revision": state.store.revision,
+            "lag_seconds": _replica_lag_seconds(state),
+        }
+    return {
+        "ok": True,
+        "enabled": True,
+        "metrics": _metrics.REGISTRY.snapshot(),
+        "role": state.role,
+        "revision": state.store.revision,
+        "lag_seconds": _replica_lag_seconds(state),
+    }
+
+
+def _op_events(state: _WorkerState, payload: dict) -> dict:
+    """This member's recent cluster events (ring contents, newest first)."""
+    return {
+        "ok": True,
+        "events": _events.EVENTS.recent(payload.get("limit", 100)),
+    }
 
 
 def _op_shutdown(state: _WorkerState, payload: dict) -> dict:
@@ -395,11 +491,13 @@ _OPS = {
     "refresh_stats": _op_refresh_stats,
     "predicates": _op_predicates,
     "metrics": _op_metrics,
+    "events": _op_events,
     "shutdown": _op_shutdown,
 }
 
 
 def _dispatch(state: _WorkerState, payload: dict) -> dict:
+    recv_ts = _time.time()
     op = payload.get("op")
     if _metrics.ENABLED:
         _REQUESTS.inc()
@@ -416,8 +514,19 @@ def _dispatch(state: _WorkerState, payload: dict) -> dict:
     else:
         trace_cm = contextlib.nullcontext()
     try:
-        with trace_cm:
-            return handler(state, payload)
+        with trace_cm as opened:
+            response = handler(state, payload)
+        if isinstance(opened, _trace.Trace) and response.get("ok"):
+            # The coordinator asked for tracing (it sent its trace id):
+            # ride our finished, bounded span subtree back on the reply
+            # so the coordinator can graft it under its cluster.rpc span.
+            # Sampling mirrors the coordinator's by construction — an
+            # unsampled request never carries a trace_id.
+            response[protocol.TRACE_KEY] = protocol.encode_trace_envelope(
+                opened, shard_id=state.config.shard_id, role=state.role,
+                recv_ts=recv_ts, send_ts=_time.time(),
+            )
+        return response
     except (SparqltError, TimeError, ValueError) as error:
         return {"ok": False, "error": str(error), "kind": KIND_BAD_REQUEST}
     except DuplicateKeyError as error:

@@ -5,6 +5,7 @@ from .cluster_protocol import ClusterProtocolConformance
 from .concurrency import BlockingReachableUnderLock, LockOrderCycle
 from .determinism import NondeterministicDurablePath
 from .durability import WalBeforeApply
+from .event_names import UncatalogedEventName
 from .hygiene import MutableDefaultArgument, ProductionAssert, \
     SwallowedException
 from .invariants import CompressionEncapsulation, EntryLifetimeMutation
@@ -32,6 +33,7 @@ ALL_RULES: tuple[Rule, ...] = (
     LockOrderCycle(),
     ClusterProtocolConformance(),
     ExceptionPathResourceLeak(),
+    UncatalogedEventName(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

@@ -1,0 +1,111 @@
+"""Cluster-event hygiene rule (RL017).
+
+The cluster event log (``repro.obs.events``) is the failover/replication
+flight recorder: ``/debug/events`` consumers and the docs enumerate
+event names from ``repro.obs.catalog.EVENTS``.  A typo'd or undeclared
+name would record fine but never show up where operators grep for it, so
+every ``EVENTS.record(...)`` call site must pass a static, cataloged
+event name — exactly the discipline RL009/RL012 enforce for metric
+series.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from ...obs import catalog
+from .base import Finding, Rule, path_matches
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..checker import ModuleInfo
+
+#: The event-log implementation and the catalog itself are exempt.
+EXEMPT_PATHS = ("obs/events.py", "obs/catalog.py")
+
+
+def _is_events_module(module: str | None, level: int,
+                      logical_path: str) -> bool:
+    """Whether an ``ImportFrom`` pulls from the obs events layer."""
+    if module is None:
+        return False
+    if module == "obs.events" or module.endswith("obs.events"):
+        return True
+    # ``from .events import record`` only counts inside the obs package.
+    return level > 0 and module == "events" and "obs/" in logical_path
+
+
+def _is_events_receiver(func: ast.expr) -> bool:
+    """``EVENTS.record`` / ``_events.EVENTS.record`` -> True."""
+    if not isinstance(func, ast.Attribute) or func.attr != "record":
+        return False
+    receiver = func.value
+    if isinstance(receiver, ast.Name):
+        return receiver.id == "EVENTS"
+    if isinstance(receiver, ast.Attribute):
+        return receiver.attr == "EVENTS"
+    return False
+
+
+class UncatalogedEventName(Rule):
+    """RL017: event-log records must use cataloged event names."""
+
+    id = "RL017"
+    title = "cluster event not declared in the catalog"
+    rationale = (
+        "/debug/events consumers and the runbooks enumerate event names "
+        "from repro.obs.catalog.EVENTS; a typo'd or undeclared name is "
+        "recorded but invisible to whoever greps for the cataloged "
+        "spelling — declare every event name in the catalog."
+    )
+
+    def check(self, module: "ModuleInfo") -> Iterator[Finding]:
+        if path_matches(module.logical_path, EXEMPT_PATHS):
+            return
+        bare_names: set[str] = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            if not _is_events_module(node.module, node.level,
+                                     module.logical_path):
+                continue
+            for alias in node.names:
+                if alias.name == "record":
+                    bare_names.add(alias.asname or alias.name)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_bare = (
+                isinstance(func, ast.Name) and func.id in bare_names
+            )
+            if not is_bare and not _is_events_receiver(func):
+                continue
+            if not node.args:
+                continue
+            name_arg = node.args[0]
+            if not isinstance(name_arg, ast.Constant) or not isinstance(
+                name_arg.value, str
+            ):
+                yield self.finding(
+                    module, node,
+                    "`EVENTS.record(...)` called with a non-literal "
+                    "event name — names must be static so the catalog "
+                    "can list them",
+                )
+                continue
+            name = name_arg.value
+            if not catalog.is_well_formed(name):
+                yield self.finding(
+                    module, node,
+                    f"event name {name!r} is malformed (want dotted "
+                    f"lower_snake segments, e.g. "
+                    f"`cluster.event.promoted`)",
+                )
+            elif not catalog.is_event(name):
+                yield self.finding(
+                    module, node,
+                    f"event name {name!r} is not declared in "
+                    f"repro.obs.catalog.EVENTS — register it there or "
+                    f"fix the typo",
+                )

@@ -5,7 +5,8 @@ paths (MVBT scans, joins, the optimizer's cardinality estimates).  The
 environment variable ``REPRO_OBS=0`` turns every probe into a no-op.
 """
 
-from .catalog import ALL_METRICS, is_registered, is_well_formed
+from .catalog import ALL_METRICS, is_event, is_registered, is_well_formed
+from .events import EVENTS, EventLog
 from .log import LOGGER, Logger
 from .metrics import (
     ENABLED,
@@ -28,9 +29,12 @@ from .trace import Sampler, Span, Trace, TraceBuffer
 
 __all__ = [
     "ALL_METRICS",
+    "is_event",
     "is_registered",
     "is_well_formed",
     "ENABLED",
+    "EVENTS",
+    "EventLog",
     "LOGGER",
     "Logger",
     "REGISTRY",

@@ -27,6 +27,10 @@ NAME_PATTERN = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
 #: Every counter name the tree is allowed to register -> its contract.
 COUNTER_HELP: dict[str, str] = {
     "cluster.coordinator.failovers": "replica promotions after primary death",
+    "cluster.coordinator.federation_errors":
+        "member metrics pulls that failed",
+    "cluster.coordinator.federation_pulls":
+        "member metrics snapshots pulled by the federation collector",
     "cluster.coordinator.queries": "queries evaluated by the coordinator",
     "cluster.coordinator.replica_lagging":
         "replica reads refused behind the acked LSN",
@@ -36,9 +40,13 @@ COUNTER_HELP: dict[str, str] = {
     "cluster.coordinator.single_shard": "queries on the single-shard fast path",
     "cluster.coordinator.updates": "updates routed to owner shards",
     "cluster.worker.replicated": "WAL records applied from the primary",
+    "cluster.worker.replicated_bytes":
+        "encoded WAL bytes applied from the primary",
     "cluster.worker.requests": "RPC requests served by this worker",
     "cluster.worker.resyncs": "full snapshot resyncs performed",
     "cluster.worker.wal_shipped": "WAL records shipped to followers",
+    "cluster.worker.wal_shipped_bytes":
+        "encoded WAL bytes shipped to followers",
     "engine.filter_rows_in": "rows entering a FILTER operator",
     "engine.filter_rows_out": "rows surviving a FILTER operator",
     "engine.hash_join_rows": "rows emitted by hash joins",
@@ -102,6 +110,16 @@ GAUGE_HELP: dict[str, str] = {
     "cluster.coordinator.shards_alive": "shards with a live primary",
     "cluster.coordinator.watermark":
         "cluster revision watermark (total applied LSNs)",
+    "cluster.lag.lsn":
+        "per-replica LSN lag: acked_lsn minus the replica's applied LSN",
+    "cluster.lag.max_lsn":
+        "worst per-replica LSN lag across the cluster at the last pull",
+    "cluster.lag.max_seconds":
+        "worst per-replica seconds-behind across the cluster at the last pull",
+    "cluster.lag.seconds":
+        "per-replica seconds behind the primary, from shipped-record stamps",
+    "cluster.member.up":
+        "1 when the member answered the last federation pull, else 0",
     "obs.workload.shapes": "distinct query shapes currently tracked",
     "optimizer.drift.max_qerror":
         "worst per-pattern q-error in the drift window",
@@ -129,11 +147,38 @@ HISTOGRAM_HELP: dict[str, str] = {
     "service.wal.sync_ms": "WAL group-commit fsync latency",
 }
 
+#: Every cluster event-log name the tree is allowed to record -> its
+#: contract.  Events are state transitions, not series: they flow into
+#: :class:`repro.obs.events.EventLog` rings and structured log lines
+#: rather than the metrics registry.  Lint rule RL017 checks ``record``
+#: call sites against this set.
+EVENT_HELP: dict[str, str] = {
+    "cluster.event.diverged":
+        "a replica's WAL diverged from the primary; full resync forced",
+    "cluster.event.failover": "a shard primary died; promotion started",
+    "cluster.event.member_dead": "a member stopped answering RPCs",
+    "cluster.event.promote_failed":
+        "a promotion attempt failed; trying the next replica",
+    "cluster.event.promote_gap":
+        "a promoted replica had a WAL gap it could not close",
+    "cluster.event.promoted": "a replica took over as shard primary",
+    "cluster.event.replica_lagging":
+        "a pinned read fell back to the primary (replica behind acked LSN)",
+    "cluster.event.replication_gap":
+        "a replica fell behind the primary's shipped WAL window; resyncing",
+    "cluster.event.resync": "a replica completed a full snapshot resync",
+    "cluster.event.update_recovered":
+        "an update acknowledged via the shipped WAL after a mid-write failover",
+}
+
 #: Sanctioned names per kind (the sets RL009/RL012 check against).
 COUNTERS = frozenset(COUNTER_HELP)
 GAUGES = frozenset(GAUGE_HELP)
 TIMERS = frozenset(TIMER_HELP)
 HISTOGRAMS = frozenset(HISTOGRAM_HELP)
+
+#: Sanctioned event-log names (the set RL017 checks against).
+EVENTS = frozenset(EVENT_HELP)
 
 #: Union of all sanctioned names, any kind.
 ALL_METRICS = COUNTERS | GAUGES | TIMERS | HISTOGRAMS
@@ -150,6 +195,11 @@ def help_for(name: str) -> str:
 def is_registered(name: str) -> bool:
     """Whether ``name`` is a sanctioned metric of any kind."""
     return name in ALL_METRICS
+
+
+def is_event(name: str) -> bool:
+    """Whether ``name`` is a sanctioned cluster event-log name."""
+    return name in EVENTS
 
 
 def is_well_formed(name: str) -> bool:

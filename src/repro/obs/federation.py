@@ -1,0 +1,334 @@
+"""Cluster metrics federation: merge member snapshots, render labels.
+
+The coordinator pulls each member's registry snapshot (the worker
+``metrics`` op) and needs two things done with the pile: *merge* the
+per-process values into one series per ``(shard, role)`` label set, and
+*render* the result in the Prometheus text format with those labels
+attached.  Everything here is pure dict math over the wire shape of
+:meth:`repro.obs.metrics.Registry.snapshot` — no sockets, no registry
+mutation — so it is unit-testable without a cluster.
+
+Merge semantics per kind:
+
+* **counters** — summed; the per-process counts are disjoint.
+* **gauges** — max; a gauge is a point-in-time reading and the
+  conservative fleet-wide answer for lag/watermark-style values is the
+  worst member.
+* **timers** — counts and totals summed, min/max folded, mean recomputed.
+* **histograms** — merged *bucket-wise*: the cumulative bucket lists are
+  de-cumulated, per-bound counts summed across members, re-cumulated,
+  and the p50/p95/p99 re-interpolated from the merged buckets — exactly
+  the estimate a single histogram observing the union of samples would
+  report.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+from . import catalog as _catalog
+
+__all__ = [
+    "merge_counters",
+    "merge_gauges",
+    "merge_timers",
+    "merge_histograms",
+    "merge_snapshots",
+    "build_groups",
+    "render_prometheus_cluster",
+]
+
+#: Canonical label emission order; any other labels follow, sorted.
+_LABEL_ORDER = ("shard", "role", "replica")
+
+
+def merge_counters(maps: Iterable[dict[str, Any]]) -> dict[str, int]:
+    """Sum counter maps key-wise."""
+    merged: dict[str, int] = {}
+    for values in maps:
+        for name, value in values.items():
+            merged[name] = merged.get(name, 0) + int(value)
+    return dict(sorted(merged.items()))
+
+
+def merge_gauges(maps: Iterable[dict[str, Any]]) -> dict[str, float]:
+    """Fold gauge maps key-wise by max (worst-member semantics)."""
+    merged: dict[str, float] = {}
+    for values in maps:
+        for name, value in values.items():
+            value = float(value)
+            if name not in merged or value > merged[name]:
+                merged[name] = value
+    return dict(sorted(merged.items()))
+
+
+def merge_timers(stats: Iterable[dict[str, Any]]) -> dict[str, float]:
+    """Fold timer-stat dicts (count/total/min/max, mean recomputed)."""
+    count = 0
+    total_ms = 0.0
+    min_ms = math.inf
+    max_ms = 0.0
+    for stat in stats:
+        observed = int(stat.get("count", 0))
+        count += observed
+        total_ms += float(stat.get("total_ms", 0.0))
+        if observed:
+            min_ms = min(min_ms, float(stat.get("min_ms", 0.0)))
+        max_ms = max(max_ms, float(stat.get("max_ms", 0.0)))
+    return {
+        "count": count,
+        "total_ms": total_ms,
+        "mean_ms": total_ms / count if count else 0.0,
+        "min_ms": min_ms if count else 0.0,
+        "max_ms": max_ms,
+    }
+
+
+def _quantile(bounds: list[float], counts: list[int], total: int,
+              q: float) -> float:
+    """Interpolated quantile over per-bucket counts.
+
+    Mirrors :meth:`repro.obs.metrics.Histogram.quantile` so a merged
+    histogram answers exactly what one histogram over the union of the
+    samples would.
+    """
+    if total == 0 or not bounds:
+        return 0.0
+    rank = q * total
+    cumulative = 0
+    lower = 0.0
+    for bound, bucket in zip(bounds, counts):
+        if cumulative + bucket >= rank:
+            if bucket == 0:
+                return bound
+            fraction = (rank - cumulative) / bucket
+            return lower + (bound - lower) * fraction
+        cumulative += bucket
+        lower = bound
+    return bounds[-1]
+
+
+def merge_histograms(snapshots: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Merge histogram ``as_dict`` payloads bucket-wise.
+
+    The wire shape carries *cumulative* ``[bound, count]`` pairs; each is
+    de-cumulated, the per-bound increments summed across members (bounds
+    are unioned, so members with different ladders still merge), and the
+    result re-cumulated with quantiles re-interpolated.
+    """
+    per_bound: dict[float, int] = {}
+    overflow = 0
+    total = 0
+    sum_ms = 0.0
+    for snap in snapshots:
+        previous = 0
+        for bound, cumulative in snap.get("buckets") or []:
+            bound = float(bound)
+            per_bound[bound] = per_bound.get(bound, 0) + (
+                int(cumulative) - previous
+            )
+            previous = int(cumulative)
+        overflow += int(snap.get("overflow", 0))
+        total += int(snap.get("count", 0))
+        sum_ms += float(snap.get("sum_ms", 0.0))
+    bounds = sorted(per_bound)
+    counts = [per_bound[bound] for bound in bounds]
+    cumulative_total = 0
+    buckets: list[list[float]] = []
+    for bound, bucket in zip(bounds, counts):
+        cumulative_total += bucket
+        buckets.append([bound, cumulative_total])
+    return {
+        "count": total,
+        "sum_ms": sum_ms,
+        "overflow": overflow,
+        "p50_ms": _quantile(bounds, counts, total, 0.50),
+        "p95_ms": _quantile(bounds, counts, total, 0.95),
+        "p99_ms": _quantile(bounds, counts, total, 0.99),
+        "buckets": buckets,
+    }
+
+
+def merge_snapshots(
+    snapshots: Iterable[dict[str, Any]],
+) -> dict[str, Any]:
+    """Merge whole registry snapshots into one snapshot-shaped dict."""
+    snapshots = list(snapshots)
+    timer_names: dict[str, list[dict[str, Any]]] = {}
+    hist_names: dict[str, list[dict[str, Any]]] = {}
+    for snap in snapshots:
+        for name, stat in (snap.get("timers") or {}).items():
+            timer_names.setdefault(name, []).append(stat)
+        for name, hist in (snap.get("histograms") or {}).items():
+            hist_names.setdefault(name, []).append(hist)
+    return {
+        "counters": merge_counters(
+            snap.get("counters") or {} for snap in snapshots
+        ),
+        "gauges": merge_gauges(
+            snap.get("gauges") or {} for snap in snapshots
+        ),
+        "timers": {
+            name: merge_timers(stats)
+            for name, stats in sorted(timer_names.items())
+        },
+        "histograms": {
+            name: merge_histograms(hists)
+            for name, hists in sorted(hist_names.items())
+        },
+    }
+
+
+def build_groups(members: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Group live, obs-enabled member entries by label set and merge.
+
+    ``members`` entries follow the federated shape the coordinator
+    builds: ``shard`` (absent for the coordinator itself), ``role``,
+    ``alive``, ``enabled`` and ``metrics``.  Replicas of the same shard
+    share the ``(shard, role)`` label set, so their snapshots merge into
+    one series instead of colliding.
+    """
+    grouped: dict[tuple, dict[str, Any]] = {}
+    for entry in members:
+        if not entry.get("alive") or not entry.get("enabled"):
+            continue
+        metrics = entry.get("metrics")
+        if not isinstance(metrics, dict):
+            continue
+        labels: dict[str, str] = {}
+        if entry.get("shard") is not None:
+            labels["shard"] = str(entry["shard"])
+        labels["role"] = str(entry.get("role", "unknown"))
+        key = tuple(sorted(labels.items()))
+        bucket = grouped.setdefault(key, {"labels": labels, "snapshots": []})
+        bucket["snapshots"].append(metrics)
+    groups: list[dict[str, Any]] = []
+    for key in sorted(grouped):
+        bucket = grouped[key]
+        groups.append({
+            "labels": bucket["labels"],
+            "members": len(bucket["snapshots"]),
+            "metrics": merge_snapshots(bucket["snapshots"]),
+        })
+    return groups
+
+
+def _format_labels(labels: dict[str, Any], extra: str = "") -> str:
+    """``{shard="0",role="replica"}`` with deterministic key order."""
+    parts = [
+        f'{key}="{labels[key]}"' for key in _LABEL_ORDER if key in labels
+    ]
+    parts.extend(
+        f'{key}="{value}"'
+        for key, value in sorted(labels.items())
+        if key not in _LABEL_ORDER
+    )
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}"
+
+
+def render_prometheus_cluster(federated: dict[str, Any]) -> str:
+    """Prometheus text exposition of a federated cluster pull.
+
+    Unlike the per-process renderer, nothing is synthesized from the
+    catalog: only series members actually reported appear, each labeled
+    with its merged group's ``shard``/``role`` (and ``replica`` index
+    for the per-replica lag gauges).  ``federated`` is the dict
+    :meth:`repro.cluster.coordinator.ClusterStore.federated_metrics`
+    returns.
+    """
+    lines: list[str] = []
+
+    def prom(name: str) -> str:
+        return "repro_" + name.replace(".", "_")
+
+    def emit_help(base: str, name: str, kind: str) -> None:
+        text = _catalog.help_for(name)
+        if text:
+            lines.append(f"# HELP {base} {text}")
+        lines.append(f"# TYPE {base} {kind}")
+
+    groups = federated.get("groups") or []
+    by_name: dict[str, dict[str, list]] = {
+        "counters": {}, "gauges": {}, "timers": {}, "histograms": {},
+    }
+    for group in groups:
+        labels = group.get("labels") or {}
+        metrics = group.get("metrics") or {}
+        for kind in by_name:
+            for name, value in (metrics.get(kind) or {}).items():
+                by_name[kind].setdefault(name, []).append((labels, value))
+
+    for name in sorted(by_name["counters"]):
+        base = prom(name)
+        emit_help(f"{base}_total", name, "counter")
+        for labels, value in by_name["counters"][name]:
+            lines.append(f"{base}_total{_format_labels(labels)} {value}")
+    for name in sorted(by_name["gauges"]):
+        base = prom(name)
+        emit_help(base, name, "gauge")
+        for labels, value in by_name["gauges"][name]:
+            lines.append(f"{base}{_format_labels(labels)} {value:g}")
+    for name in sorted(by_name["timers"]):
+        base = prom(name)
+        emit_help(f"{base}_seconds", name, "summary")
+        for labels, stat in by_name["timers"][name]:
+            rendered = _format_labels(labels)
+            lines.append(
+                f"{base}_seconds_count{rendered} {stat['count']}"
+            )
+            lines.append(
+                f"{base}_seconds_sum{rendered} "
+                f"{stat['total_ms'] / 1000.0:.9g}"
+            )
+    for name in sorted(by_name["histograms"]):
+        base = prom(name)
+        emit_help(base, name, "histogram")
+        for labels, hist in by_name["histograms"][name]:
+            cumulative = 0
+            for bound, cum in hist.get("buckets") or []:
+                cumulative = cum
+                le_label = 'le="%g"' % bound
+                lines.append(
+                    f"{base}_bucket{_format_labels(labels, le_label)} {cum}"
+                )
+            inf_label = 'le="+Inf"'
+            total_count = cumulative + hist.get("overflow", 0)
+            lines.append(
+                f"{base}_bucket{_format_labels(labels, inf_label)} "
+                f"{total_count}"
+            )
+            rendered = _format_labels(labels)
+            lines.append(f"{base}_sum{rendered} {hist['sum_ms']:.9g}")
+            lines.append(f"{base}_count{rendered} {hist['count']}")
+
+    # Per-replica lag gauges and per-member liveness, straight from the
+    # member entries (these are coordinator-derived, not registry series).
+    lag_lsn: list[tuple[dict[str, Any], float]] = []
+    lag_seconds: list[tuple[dict[str, Any], float]] = []
+    up: list[tuple[dict[str, Any], int]] = []
+    for entry in federated.get("members") or []:
+        labels = {}
+        if entry.get("shard") is not None:
+            labels["shard"] = str(entry["shard"])
+        labels["role"] = str(entry.get("role", "unknown"))
+        if entry.get("replica") is not None:
+            labels["replica"] = str(entry["replica"])
+        up.append((labels, 1 if entry.get("alive") else 0))
+        if entry.get("role") == "replica" and entry.get("alive"):
+            if entry.get("lag_lsn") is not None:
+                lag_lsn.append((labels, float(entry["lag_lsn"])))
+            if entry.get("lag_seconds") is not None:
+                lag_seconds.append((labels, float(entry["lag_seconds"])))
+    for name, series in (("cluster.lag.lsn", lag_lsn),
+                         ("cluster.lag.seconds", lag_seconds),
+                         ("cluster.member.up", up)):
+        if not series:
+            continue
+        base = prom(name)
+        emit_help(base, name, "gauge")
+        for labels, value in series:
+            lines.append(f"{base}{_format_labels(labels)} {value:g}")
+    return "\n".join(lines) + "\n"

@@ -55,7 +55,14 @@ __all__ = [
     "annotate",
     "annotate_trace",
     "submit",
+    "export_spans",
+    "graft_remote_trace",
 ]
+
+#: Upper bound on spans a worker exports per RPC response.  Keeps the
+#: attachment a bounded fraction of the reply frame even for scans that
+#: open a span per leaf.
+MAX_REMOTE_SPANS = 256
 
 #: Monotonic per-process sequence feeding trace ids.
 _TRACE_SEQ = itertools.count(1)
@@ -335,3 +342,123 @@ def submit(pool: "Executor", fn: Any, /, *args: Any,
         return pool.submit(fn, *args, **kwargs)
     ctx = copy_context()
     return pool.submit(ctx.run, fn, *args, **kwargs)
+
+
+# --------------------------------------------------------------------------
+# Cross-process stitching.
+#
+# A cluster worker traces its side of an RPC into a private Trace (opened
+# by the dispatcher when the coordinator's payload carries a trace id).
+# `export_spans` turns that finished subtree into a bounded plain-dict
+# attachment for the response envelope; `graft_remote_trace` rebuilds it
+# on the coordinator under the live `cluster.rpc` span, mapping worker
+# wall-clock onto the coordinator's trace timeline via an NTP-style skew
+# estimate from the four send/recv timestamps.
+
+
+def export_spans(root: Span, limit: int = MAX_REMOTE_SPANS) -> dict[str, Any]:
+    """Serialize a span subtree to a bounded wire-friendly dict.
+
+    Depth-first, keeping at most ``limit`` spans; a node whose children
+    overflow the budget gets a ``truncated`` count instead of the
+    dropped subtrees.
+    """
+    budget = [limit]
+
+    def encode(node: Span) -> dict[str, Any]:
+        budget[0] -= 1
+        out: dict[str, Any] = {
+            "name": node.name,
+            "start_ms": round(node.start_ms, 3),
+            "duration_ms": round(node.duration_ms, 3),
+        }
+        if node.attrs:
+            out["attrs"] = dict(node.attrs)
+        children = []
+        dropped = 0
+        for child in node.children:
+            if budget[0] <= 0:
+                dropped += 1
+                continue
+            children.append(encode(child))
+        if children:
+            out["children"] = children
+        if dropped:
+            out["truncated"] = dropped
+        return out
+
+    return encode(root)
+
+
+def _graft_node(parent: Span, node: dict[str, Any],
+                shift_ms: float) -> Span:
+    """Rebuild one exported span under ``parent``, shifted in time."""
+    child = Span(str(node.get("name", "remote")), parent.trace, parent)
+    attrs = node.get("attrs")
+    if isinstance(attrs, dict):
+        child.attrs.update(attrs)
+    truncated = node.get("truncated")
+    if truncated:
+        child.attrs["truncated"] = truncated
+    start = node.get("start_ms")
+    duration = node.get("duration_ms")
+    child.start_ms = shift_ms + (
+        float(start) if isinstance(start, (int, float)) else 0.0
+    )
+    child.end_ms = child.start_ms + (
+        float(duration) if isinstance(duration, (int, float)) else 0.0
+    )
+    for sub in node.get("children") or ():
+        if isinstance(sub, dict):
+            _graft_node(child, sub, shift_ms)
+    return child
+
+
+def graft_remote_trace(envelope: Any, *, sent_ts: float,
+                       recv_ts: float) -> bool:
+    """Attach a worker's exported span subtree under the current span.
+
+    ``envelope`` is the attachment a worker put on its RPC response
+    (see :func:`repro.cluster.protocol.encode_trace_envelope`);
+    ``sent_ts``/``recv_ts`` are the coordinator's wall-clock times
+    around the RPC.  The per-hop clock skew is estimated NTP-style as
+    ``((t1 - t0) + (t2 - t3)) / 2`` from the coordinator send (t0),
+    worker receive (t1), worker send (t2) and coordinator receive (t3)
+    stamps, and is used to place the remote spans on the coordinator's
+    timeline; the estimate and the network round-trip share are also
+    annotated on the enclosing span.  Returns False (and grafts
+    nothing) outside a live trace or for malformed envelopes.
+    """
+    if not _metrics.ENABLED:
+        return False
+    parent = _CURRENT_SPAN.get()
+    if parent is None or not isinstance(envelope, dict):
+        return False
+    root = envelope.get("root")
+    if not isinstance(root, dict):
+        return False
+    trace = parent.trace
+    worker_recv = envelope.get("recv_ts")
+    worker_send = envelope.get("send_ts")
+    worker_epoch = envelope.get("epoch")
+    skew_s = 0.0
+    if (isinstance(worker_recv, (int, float))
+            and isinstance(worker_send, (int, float))):
+        skew_s = ((worker_recv - sent_ts) + (worker_send - recv_ts)) / 2.0
+        net_ms = ((recv_ts - sent_ts) - (worker_send - worker_recv)) * 1000.0
+        parent.annotate(clock_skew_ms=round(skew_s * 1000.0, 3),
+                        net_ms=round(max(0.0, net_ms), 3))
+    if isinstance(worker_epoch, (int, float)):
+        shift_ms = (worker_epoch - skew_s - trace.epoch) * 1000.0
+    else:
+        # No worker epoch: anchor the subtree at our send time.
+        shift_ms = (sent_ts - trace.epoch) * 1000.0
+    grafted = _graft_node(parent, root, shift_ms)
+    for key in ("shard_id", "role", "pid"):
+        value = envelope.get(key)
+        if value is not None:
+            grafted.attrs[key] = value
+    remote_id = envelope.get("trace_id")
+    if remote_id is not None:
+        grafted.attrs["remote_trace_id"] = remote_id
+    return True

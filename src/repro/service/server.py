@@ -14,9 +14,13 @@ Endpoints::
     GET  /healthz       liveness + store revision / live fact count
                         + process uptime / RSS
     GET  /metrics       the obs registry (JSON; ?format=text for humans,
-                        Prometheus text when Accept: text/plain)
+                        Prometheus text when Accept: text/plain);
+                        ?scope=cluster federates every member's registry
+                        behind a coordinator (labeled per shard/role)
     GET  /debug/traces  recent request traces (?id=<trace_id> for the
                         full span tree, ?limit=N for the listing)
+    GET  /debug/events  the cluster event ring (promotions, lag,
+                        resyncs), merged across members on a coordinator
     GET  /debug/workload  per-shape query aggregates (?limit=N)
     GET  /debug/storage   MVBT / dictionary / WAL / cache health report
     GET  /debug/profile   on-demand sampling profiler (?seconds=N);
@@ -52,6 +56,8 @@ from urllib.parse import urlparse, parse_qs
 
 from ..model.time import NOW, PeriodSet, TimeError, date_to_chronon
 from ..mvbt.tree import DuplicateKeyError, TimeOrderError
+from ..obs import events as _events
+from ..obs import federation as _federation
 from ..obs import introspect as _introspect
 from ..obs import log as _obslog
 from ..obs import metrics as _metrics
@@ -257,7 +263,9 @@ class _Handler(BaseHTTPRequestHandler):
                     _RSS.set(rss)
             query = parse_qs(parsed.query)
             accept = self.headers.get("Accept", "")
-            if query.get("format") == ["text"]:
+            if query.get("scope") == ["cluster"]:
+                self._handle_cluster_metrics(query, accept)
+            elif query.get("format") == ["text"]:
                 self._send_text(_metrics.REGISTRY.render_text())
             elif (query.get("format") == ["prometheus"]
                   or "text/plain" in accept):
@@ -268,6 +276,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, _metrics.REGISTRY.snapshot())
         elif parsed.path == "/debug/traces":
             self._handle_traces(parse_qs(parsed.query))
+        elif parsed.path == "/debug/events":
+            self._handle_events(parse_qs(parsed.query))
         elif parsed.path == "/debug/workload":
             self._handle_workload(parse_qs(parsed.query))
         elif parsed.path == "/debug/storage":
@@ -284,6 +294,53 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _handle_cluster_metrics(self, query: dict, accept: str) -> None:
+        """``/metrics?scope=cluster``: the coordinator's federated pull."""
+        federated_metrics = getattr(
+            self.server.store, "federated_metrics", None
+        )
+        if federated_metrics is None:
+            self._send_error(
+                400, "scope=cluster requires a cluster coordinator"
+            )
+            return
+        force = query.get("force") == ["1"]
+        try:
+            federated = federated_metrics(force=force)
+        except StoreError as error:
+            self._send_error(409, str(error))
+            return
+        if (query.get("format") == ["prometheus"]
+                or "text/plain" in accept):
+            self._send_text(
+                _federation.render_prometheus_cluster(federated)
+            )
+        else:
+            self._send_json(200, federated)
+
+    def _handle_events(self, query: dict) -> None:
+        """``/debug/events``: the event ring (cluster-merged when the
+        store is a coordinator)."""
+        try:
+            limit = int(query.get("limit", ["100"])[0])
+        except ValueError:
+            self._send_error(400, "bad 'limit' value")
+            return
+        cluster_events = getattr(self.server.store, "cluster_events", None)
+        if cluster_events is not None:
+            try:
+                events = cluster_events(limit=limit)
+            except StoreError as error:
+                self._send_error(409, str(error))
+                return
+        else:
+            events = _events.EVENTS.recent(limit)
+        self._send_json(200, {
+            "enabled": _metrics.ENABLED,
+            "events": events,
+            "counts": _events.EVENTS.counts(),
+        })
 
     def _handle_traces(self, query: dict) -> None:
         trace_id = query.get("id", [None])[0]

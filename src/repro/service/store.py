@@ -103,6 +103,12 @@ class TemporalStore:
         self._query_cache = (
             QueryCache(query_cache_size) if query_cache_size else None
         )
+        #: wall-clock append times of recent LSNs, for replication
+        #: seconds-behind telemetry.  Bounded; mutated only under
+        #: ``_writer``, read lock-free (dict reads are atomic).  The WAL
+        #: binary format stays timestamp-free — replay determinism is
+        #: untouched.
+        self._append_times: dict[int, float] = {}
 
         snapshot_lsn = 0
         if self.snapshot_path.exists():
@@ -209,6 +215,7 @@ class TemporalStore:
                 # process kill (and a machine crash after the group
                 # commit).
                 lsn = self._wal.append(op, subject, predicate, object, time)
+                self._note_append_time(lsn)
                 with self._rw.write_locked():
                     self._apply(op, subject, predicate, object, time)
                     self._revision = lsn
@@ -284,6 +291,24 @@ class TemporalStore:
 
     # ---------------------------------------------------------- replication
 
+    #: How many recent LSN append times to retain for lag telemetry.
+    APPEND_TIME_WINDOW = 4096
+
+    def _note_append_time(self, lsn: int) -> None:
+        """Remember when ``lsn`` became durable here (callers hold
+        ``_writer``); prune beyond :data:`APPEND_TIME_WINDOW`."""
+        self._append_times[lsn] = _time.time()
+        while len(self._append_times) > self.APPEND_TIME_WINDOW:
+            self._append_times.pop(next(iter(self._append_times)))
+
+    def append_walltime(self, lsn: int) -> float | None:
+        """Wall-clock time ``lsn`` was appended here, if still tracked.
+
+        Shipped alongside ``wal_since`` records so replicas can report
+        seconds-behind without the WAL format carrying timestamps.
+        """
+        return self._append_times.get(lsn)
+
     def wal_since(self, lsn: int) -> list:
         """Durable WAL records past ``lsn`` (the log-shipping read path).
 
@@ -316,6 +341,7 @@ class TemporalStore:
                 )
             self._wal.append(record.op, record.subject, record.predicate,
                              record.object, record.time)
+            self._note_append_time(record.lsn)
             with self._rw.write_locked():
                 self._apply(record.op, record.subject, record.predicate,
                             record.object, record.time)

@@ -1,0 +1,15 @@
+"""Negative RL017: cataloged event names; unrelated ``record`` calls."""
+from repro.obs import events as _events
+from repro.obs.events import record
+
+
+class _Stats:
+    def record(self, name):
+        return name
+
+
+STATS = _Stats()
+
+_events.EVENTS.record("cluster.event.promoted", shard_id=0)
+record("cluster.event.resync", shard_id=1, role="replica")
+STATS.record("whatever shape")  # not the event log's receiver

@@ -1,0 +1,10 @@
+"""Positive RL017: event records with uncataloged / malformed names."""
+from repro.obs import events as _events
+from repro.obs.events import record
+
+_events.EVENTS.record("cluster.event.promotted")  # typo: not cataloged
+record("Cluster Promoted!")  # malformed
+
+
+def announce(name):
+    _events.EVENTS.record(name)  # dynamic name: catalog cannot list it

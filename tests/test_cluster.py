@@ -248,6 +248,11 @@ class TestClusterFailover:
             )
             assert [r["o"] for r in result.rows] == ["ok"]
 
+            # the event log recorded the failover and the promotion
+            names = [e["event"] for e in cluster.cluster_events()]
+            assert "cluster.event.failover" in names
+            assert "cluster.event.promoted" in names
+
 
     def test_failover_retry_of_committed_write_is_idempotent(
         self, tmp_path
@@ -315,6 +320,155 @@ class TestClusterMaintenance:
             wal = cluster._members[0].primary.directory \
                 / TemporalStore.WAL_NAME
             assert len(read_records(wal)) == 2
+
+
+def _walk_spans(span):
+    yield span
+    for child in span.children:
+        yield from _walk_spans(child)
+
+
+class TestClusterObservability:
+    def test_scatter_query_yields_one_stitched_trace(self, tmp_path):
+        """A traced scatter query returns a single span tree holding
+        worker-side spans from at least two distinct processes, each
+        annotated with shard_id/role/pid, with a per-hop clock-skew
+        estimate on the grafting cluster.rpc span."""
+        from repro.obs import trace as _trace
+
+        with ClusterStore(tmp_path / "clu", shards=2,
+                          fsync=False) as cluster:
+            s0 = _subject_on_shard(0, 2)
+            s1 = _subject_on_shard(1, 2, start=10_000)
+            cluster.insert(s0, "p", "a", 1000)
+            cluster.insert(s1, "p", "b", 1001)
+            with _trace.start_trace("test.scatter") as trace:
+                result = cluster.query("SELECT ?s ?o {?s p ?o ?t}")
+            assert len(result.rows) == 2
+
+        spans = list(_walk_spans(trace.root))
+        remote = [
+            s for s in spans
+            if "pid" in s.attrs and "role" in s.attrs
+            and "shard_id" in s.attrs
+        ]
+        pids = {s.attrs["pid"] for s in remote}
+        assert len(pids) >= 2, "worker spans from two processes expected"
+        assert os.getpid() not in pids
+        assert {s.attrs["shard_id"] for s in remote} == {0, 1}
+        assert all(s.attrs["role"] == "shard" for s in remote)
+        assert all("remote_trace_id" in s.attrs for s in remote)
+        # remote spans graft under the coordinator's cluster.rpc spans,
+        # which carry the per-hop clock-skew/network estimates.
+        stitched = [s for s in spans if "clock_skew_ms" in s.attrs]
+        assert stitched
+        assert all(s.name == "cluster.rpc" for s in stitched)
+        assert all("net_ms" in s.attrs for s in stitched)
+        # shifted worker spans stay inside the coordinator trace's
+        # lifetime (the skew correction anchors them sanely).
+        root_end = trace.root.end_ms
+        for span in remote:
+            assert -1000.0 < span.start_ms < root_end + 1000.0
+
+    def test_untraced_rpc_carries_no_attachment(self, tmp_path):
+        """Without a live coordinator trace the request has no trace_id
+        and the response envelope must not grow a trace attachment."""
+        from repro.cluster import protocol as _protocol
+
+        with ClusterStore(tmp_path / "clu", shards=1,
+                          fsync=False) as cluster:
+            member = cluster._members[0]
+            response = member.primary.rpc({"op": "status"})
+            assert _protocol.TRACE_KEY not in response
+
+    def test_federated_metrics_members_groups_and_lag(self, tmp_path):
+        with ClusterStore(tmp_path / "clu", shards=2, replicas=1,
+                          fsync=False) as cluster:
+            s0 = _subject_on_shard(0, 2)
+            s1 = _subject_on_shard(1, 2, start=10_000)
+            cluster.insert(s0, "p", "a", 1000)
+            cluster.insert(s1, "p", "b", 1001)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                status = cluster.cluster_status()
+                if all(
+                    replica["alive"] and replica["applied_lsn"]
+                    == member["primary"]["applied_lsn"]
+                    for member in status["members"]
+                    for replica in member["replicas"]
+                ):
+                    break
+                time.sleep(0.1)
+
+            federated = cluster.federated_metrics(force=True)
+            assert federated["scope"] == "cluster"
+            assert federated["watermark"] == 2
+
+            members = federated["members"]
+            assert members[0]["role"] == "coordinator"
+            roles = sorted(m["role"] for m in members)
+            assert roles == ["coordinator", "replica", "replica",
+                             "shard", "shard"]
+            for entry in members[1:]:
+                assert entry["alive"], entry
+                assert entry["enabled"], entry
+            replicas = [m for m in members if m["role"] == "replica"]
+            for entry in replicas:
+                assert entry["lag_lsn"] == 0
+                lag_seconds = entry["lag_seconds"]
+                assert lag_seconds is None or 0.0 <= lag_seconds < 60.0
+
+            groups = {
+                tuple(sorted(g["labels"].items())): g
+                for g in federated["groups"]
+            }
+            for shard in (0, 1):
+                merged = groups[(("role", "shard"),
+                                 ("shard", str(shard)))]["metrics"]
+                assert merged["counters"]["cluster.worker.requests"] > 0
+
+            # pulls within max_age are served from the cache
+            assert cluster.federated_metrics() is federated
+            assert cluster.federated_metrics(force=True) is not federated
+
+    def test_cluster_status_reports_replica_lag(self, tmp_path):
+        with ClusterStore(tmp_path / "clu", shards=1, replicas=1,
+                          fsync=False) as cluster:
+            subject = _subject_on_shard(0, 1)
+            cluster.insert(subject, "p", "v", 1000)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                status = cluster.cluster_status()
+                replica = status["members"][0]["replicas"][0]
+                if replica["alive"] and replica["applied_lsn"] == 1:
+                    break
+                time.sleep(0.05)
+            assert replica["lag_lsn"] == 0
+            assert (replica["lag_seconds"] is None
+                    or replica["lag_seconds"] >= 0.0)
+
+    def test_op_metrics_disabled_reports_empty(self):
+        """REPRO_OBS=0 workers answer the metrics op with enabled=false
+        and an empty snapshot, never frozen pre-disable series."""
+        from repro.cluster import worker as cluster_worker
+        from repro.obs import metrics
+
+        class _Store:
+            revision = 7
+
+        class _State:
+            role = "shard"
+            store = _Store()
+
+        metrics.set_enabled(False)
+        try:
+            response = cluster_worker._op_metrics(_State(), {})
+        finally:
+            metrics.set_enabled(True)
+        assert response == {
+            "ok": True, "enabled": False, "metrics": {},
+            "role": "shard", "revision": 7, "lag_seconds": None,
+        }
 
 
 class TestClusterReporting:

@@ -1,0 +1,274 @@
+"""repro.obs.federation + repro.obs.events: merge math and the event ring.
+
+The merge functions are pure dict math over registry snapshot payloads,
+so everything here runs without a cluster.  The histogram property test
+is the load-bearing one: merging N member snapshots bucket-wise must
+answer exactly what one histogram observing the union of the samples
+would — otherwise federated p95s drift from per-process ones.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import events as obs_events
+from repro.obs import metrics
+from repro.obs.federation import (
+    build_groups,
+    merge_counters,
+    merge_gauges,
+    merge_histograms,
+    merge_snapshots,
+    merge_timers,
+    render_prometheus_cluster,
+)
+from repro.obs.metrics import Histogram, TimerStat
+
+
+# ----------------------------------------------------------- counter/gauge
+
+
+def test_merge_counters_sums_keywise():
+    merged = merge_counters([
+        {"a.b": 2, "c.d": 1},
+        {"a.b": 3},
+        {"e.f": 7},
+    ])
+    assert merged == {"a.b": 5, "c.d": 1, "e.f": 7}
+    assert list(merged) == sorted(merged)
+
+
+def test_merge_gauges_takes_worst_member():
+    merged = merge_gauges([
+        {"lag": 0.5, "depth": 3},
+        {"lag": 2.5, "depth": 1},
+    ])
+    assert merged == {"depth": 3.0, "lag": 2.5}
+
+
+def test_merge_timers_folds_and_recomputes_mean():
+    a = TimerStat("t")
+    b = TimerStat("t")
+    a.observe(0.010)
+    a.observe(0.030)
+    b.observe(0.100)
+    merged = merge_timers([a.as_dict(), b.as_dict()])
+    assert merged["count"] == 3
+    assert abs(merged["total_ms"] - 140.0) < 1e-6
+    assert abs(merged["mean_ms"] - 140.0 / 3) < 1e-6
+    assert abs(merged["min_ms"] - 10.0) < 1e-6
+    assert abs(merged["max_ms"] - 100.0) < 1e-6
+
+
+def test_merge_timers_ignores_empty_members_min():
+    empty = TimerStat("t").as_dict()
+    busy = TimerStat("t")
+    busy.observe(0.5)
+    merged = merge_timers([empty, busy.as_dict()])
+    assert merged["count"] == 1
+    assert abs(merged["min_ms"] - 500.0) < 1e-6
+
+
+# ------------------------------------------------- histogram property test
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    samples=st.lists(
+        st.floats(min_value=0.0, max_value=20000.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=0, max_size=120,
+    ),
+    members=st.integers(min_value=1, max_value=5),
+    seed=st.randoms(use_true_random=False),
+)
+def test_merged_histogram_equals_union_of_samples(samples, members, seed):
+    """merge(N member snapshots) == one histogram over all the samples."""
+    union = Histogram("h")
+    shards = [Histogram("h") for _ in range(members)]
+    for value in samples:
+        union.observe(value)
+        seed.choice(shards).observe(value)
+    merged = merge_histograms([shard.as_dict() for shard in shards])
+    expected = union.as_dict()
+    assert merged["count"] == expected["count"]
+    assert merged["overflow"] == expected["overflow"]
+    assert abs(merged["sum_ms"] - expected["sum_ms"]) < 1e-6
+    assert merged["buckets"] == expected["buckets"]
+    for q in ("p50_ms", "p95_ms", "p99_ms"):
+        assert abs(merged[q] - expected[q]) < 1e-9, q
+
+
+def test_merge_histograms_unions_different_ladders():
+    a = Histogram("h", bounds=(1.0, 10.0))
+    b = Histogram("h", bounds=(5.0, 50.0))
+    a.observe(0.5)
+    b.observe(30.0)
+    merged = merge_histograms([a.as_dict(), b.as_dict()])
+    assert merged["count"] == 2
+    assert [bound for bound, _ in merged["buckets"]] == [1.0, 5.0, 10.0,
+                                                         50.0]
+    assert merged["buckets"][-1][1] == 2
+
+
+# ----------------------------------------------------------- group building
+
+
+def _member(shard, role, counters=None, *, alive=True, enabled=True):
+    return {
+        "shard": shard, "role": role, "alive": alive, "enabled": enabled,
+        "metrics": {"counters": counters or {}},
+    }
+
+
+def test_build_groups_merges_replicas_and_skips_dead():
+    groups = build_groups([
+        {"role": "coordinator", "alive": True, "enabled": True,
+         "metrics": {"counters": {"q": 1}}},
+        _member(0, "shard", {"cluster.worker.requests": 4}),
+        _member(0, "replica", {"cluster.worker.requests": 2}),
+        _member(0, "replica", {"cluster.worker.requests": 3}),
+        _member(1, "shard", {"cluster.worker.requests": 9}),
+        _member(1, "replica", None, alive=False),
+        _member(1, "replica", None, enabled=False),
+    ])
+    by_label = {
+        tuple(sorted(g["labels"].items())): g for g in groups
+    }
+    replicas_0 = by_label[(("role", "replica"), ("shard", "0"))]
+    assert replicas_0["members"] == 2
+    assert replicas_0["metrics"]["counters"] == {
+        "cluster.worker.requests": 5
+    }
+    assert (("role", "replica"), ("shard", "1")) not in by_label
+    coordinator = by_label[(("role", "coordinator"),)]
+    assert coordinator["metrics"]["counters"] == {"q": 1}
+
+
+def test_merge_snapshots_shape():
+    merged = merge_snapshots([
+        {"counters": {"a": 1}, "gauges": {"g": 2.0},
+         "timers": {"t": TimerStat("t").as_dict()},
+         "histograms": {"h": Histogram("h").as_dict()}},
+        {"counters": {"a": 1}},
+    ])
+    assert merged["counters"] == {"a": 2}
+    assert merged["gauges"] == {"g": 2.0}
+    assert set(merged["timers"]) == {"t"}
+    assert set(merged["histograms"]) == {"h"}
+
+
+# ------------------------------------------------------ prometheus renderer
+
+
+def _federated_fixture():
+    hist = Histogram("cluster.coordinator.rpc_ms")
+    hist.observe(3.0)
+    return {
+        "scope": "cluster",
+        "watermark": 7,
+        "members": [
+            {"role": "coordinator", "alive": True, "enabled": True,
+             "metrics": {}},
+            {"shard": 0, "role": "shard", "pid": 11, "alive": True,
+             "enabled": True, "metrics": {}},
+            {"shard": 0, "role": "replica", "replica": 0, "pid": 12,
+             "alive": True, "enabled": True, "metrics": {},
+             "lag_lsn": 3, "lag_seconds": 0.25},
+            {"shard": 1, "role": "replica", "replica": 0, "pid": 13,
+             "alive": False, "enabled": False, "metrics": {}},
+        ],
+        "groups": [
+            {"labels": {"shard": "0", "role": "shard"}, "members": 1,
+             "metrics": {
+                 "counters": {"cluster.worker.requests": 4},
+                 "gauges": {},
+                 "timers": {},
+                 "histograms": {"cluster.coordinator.rpc_ms":
+                                hist.as_dict()},
+             }},
+            {"labels": {"shard": "0", "role": "replica"}, "members": 1,
+             "metrics": {
+                 "counters": {"cluster.worker.replicated": 6},
+                 "gauges": {}, "timers": {}, "histograms": {},
+             }},
+        ],
+    }
+
+
+def test_render_prometheus_cluster_pins_label_order():
+    text = render_prometheus_cluster(_federated_fixture())
+    # The canonical label order is shard,role — pinned, not sorted.
+    assert ('repro_cluster_worker_replicated_total'
+            '{shard="0",role="replica"} 6') in text
+    assert ('repro_cluster_worker_requests_total'
+            '{shard="0",role="shard"} 4') in text
+
+
+def test_render_prometheus_cluster_lag_and_liveness_series():
+    text = render_prometheus_cluster(_federated_fixture())
+    assert ('repro_cluster_lag_lsn'
+            '{shard="0",role="replica",replica="0"} 3') in text
+    assert ('repro_cluster_lag_seconds'
+            '{shard="0",role="replica",replica="0"} 0.25') in text
+    assert 'repro_cluster_member_up{role="coordinator"} 1' in text
+    assert ('repro_cluster_member_up'
+            '{shard="1",role="replica",replica="0"} 0') in text
+    # A dead replica reports no lag series at all.
+    assert 'lag_lsn{shard="1"' not in text
+
+
+def test_render_prometheus_cluster_histogram_buckets_labeled():
+    text = render_prometheus_cluster(_federated_fixture())
+    assert ('repro_cluster_coordinator_rpc_ms_bucket'
+            '{shard="0",role="shard",le="5"} 1') in text
+    assert ('repro_cluster_coordinator_rpc_ms_bucket'
+            '{shard="0",role="shard",le="+Inf"} 1') in text
+    assert ('repro_cluster_coordinator_rpc_ms_count'
+            '{shard="0",role="shard"} 1') in text
+
+
+# -------------------------------------------------------------- event ring
+
+
+def test_event_log_records_and_counts():
+    log = obs_events.EventLog(capacity=4)
+    log.record("cluster.event.promoted", shard_id=0, pid=42)
+    log.record("cluster.event.resync", level="warning", shard_id=1)
+    recent = log.recent()
+    assert [e["event"] for e in recent] == [
+        "cluster.event.resync", "cluster.event.promoted"
+    ]
+    assert recent[0]["level"] == "warning"
+    assert recent[1]["shard_id"] == 0
+    assert all("ts" in e for e in recent)
+    assert log.counts() == {
+        "cluster.event.promoted": 1, "cluster.event.resync": 1
+    }
+    assert len(log) == 2
+
+
+def test_event_log_ring_is_bounded_but_counts_are_lifetime():
+    log = obs_events.EventLog(capacity=3)
+    for _ in range(10):
+        log.record("cluster.event.resync")
+    assert len(log) == 3
+    assert log.counts() == {"cluster.event.resync": 10}
+
+
+def test_event_log_drops_none_fields():
+    log = obs_events.EventLog()
+    log.record("cluster.event.promoted", trace_id=None, shard_id=2)
+    (event,) = log.recent()
+    assert "trace_id" not in event
+    assert event["shard_id"] == 2
+
+
+def test_event_log_disabled_records_nothing():
+    log = obs_events.EventLog()
+    metrics.set_enabled(False)
+    try:
+        log.record("cluster.event.promoted")
+    finally:
+        metrics.set_enabled(True)
+    assert log.recent() == []
+    assert log.counts() == {}

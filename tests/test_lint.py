@@ -77,6 +77,7 @@ POSITIVE_EXPECTATIONS = {
     "RL014": ("rl014_pos.py", 1),  # writer/maint order cycle
     "RL015": ("rl015_pos.py", 4),  # unknown op, missing, extra, stale key
     "RL016": ("rl016_pos.py", 2),  # setsockopt-then-return, write-then-close
+    "RL017": ("rl017_pos.py", 3),  # typo, malformed, dynamic name
 }
 
 NEGATIVE_FIXTURES = {
@@ -96,6 +97,7 @@ NEGATIVE_FIXTURES = {
     "RL014": ["rl014_neg.py"],
     "RL015": ["rl015_neg.py"],
     "RL016": ["rl016_neg.py"],
+    "RL017": ["rl017_neg.py"],
 }
 
 

@@ -598,3 +598,40 @@ class TestProcessMetrics:
         assert "# HELP repro_engine_queries_total" in text
         assert "repro_optimizer_drift_median_qerror 0" in text
         assert 'repro_service_store_query_ms_bucket{le="+Inf"} 0' in text
+
+
+# ----------------------------------------------- events + cluster scope
+
+
+class TestEventsAndClusterScope:
+    def test_debug_events_serves_the_local_ring(self, service):
+        from repro.obs import events as obs_events
+
+        obs_events.EVENTS.record("cluster.event.resync", shard_id=9)
+        status, body = _json_request(service, "GET",
+                                     "/debug/events?limit=500")
+        assert status == 200
+        assert body["enabled"] is True
+        names = [event["event"] for event in body["events"]]
+        assert "cluster.event.resync" in names
+        assert body["counts"]["cluster.event.resync"] >= 1
+        (recorded,) = [
+            event for event in body["events"]
+            if event["event"] == "cluster.event.resync"
+            and event.get("shard_id") == 9
+        ][:1]
+        assert recorded["level"] == "info"
+        assert recorded["ts"] > 0
+
+    def test_debug_events_rejects_bad_limit(self, service):
+        status, _ = _json_request(service, "GET",
+                                  "/debug/events?limit=soon")
+        assert status == 400
+
+    def test_metrics_cluster_scope_needs_a_coordinator(self, service):
+        # A standalone TemporalStore has no federated_metrics: explicit
+        # 400, not a silent fall-through to the local registry.
+        status, body = _json_request(service, "GET",
+                                     "/metrics?scope=cluster")
+        assert status == 400
+        assert "coordinator" in body["error"]
